@@ -1,0 +1,141 @@
+//! Calibrated computation cost models.
+//!
+//! The applications *really execute* their kernels (so results can be
+//! verified), but virtual time is charged through these per-platform
+//! constants, fitted to the paper's single-node measurements:
+//!
+//! * matmul 128×128 on one node: 25.77 s (ELC) / 24.89 s (IPX) — Table 1;
+//! * FFT M=512 × 8 sample sets on one node: 5.76 s (ELC) / 5.25 s (IPX) —
+//!   Table 3;
+//! * JPEG stage costs fitted against the 2-node rows of Table 2.
+//!
+//! The fitted per-operation budgets look enormous by modern standards
+//! (hundreds of cycles per multiply-accumulate, ~10⁴ per FFT butterfly).
+//! That is what the paper's numbers imply for unoptimized early-90s C with
+//! library trig calls, cache-hostile strides, and per-element indexing —
+//! we encode the authors' measured reality rather than an idealized FLOP
+//! count. `EXPERIMENTS.md` documents the fit.
+
+use ncs_net::HostParams;
+
+/// Per-application cycle budgets for one platform.
+#[derive(Clone, Copy, Debug)]
+pub struct AppCosts {
+    /// Cycles per multiply-accumulate in the matmul inner loop.
+    pub mac_cycles: u64,
+    /// Cycles per FFT butterfly (complex add, subtract, twiddle multiply,
+    /// trig evaluation, indexing).
+    pub butterfly_cycles: u64,
+    /// JPEG compression cycles per input byte (DCT + quantization + RLE).
+    pub jpeg_compress_per_byte: u64,
+    /// JPEG decompression cycles per output byte.
+    pub jpeg_decompress_per_byte: u64,
+    /// Image file read/write cycles per byte (the paper's JPEG pipeline
+    /// includes reading and writing the image on the host).
+    pub io_per_byte: u64,
+}
+
+impl AppCosts {
+    /// Costs for the SPARCstation ELC (Ethernet testbed).
+    pub fn sparc_elc() -> AppCosts {
+        AppCosts {
+            mac_cycles: 405,
+            butterfly_cycles: 10_300,
+            jpeg_compress_per_byte: 270,
+            jpeg_decompress_per_byte: 210,
+            io_per_byte: 12,
+        }
+    }
+
+    /// Costs for the SPARCstation IPX (ATM LAN / NYNET testbed).
+    pub fn sparc_ipx() -> AppCosts {
+        AppCosts {
+            mac_cycles: 475,
+            butterfly_cycles: 11_400,
+            jpeg_compress_per_byte: 210,
+            jpeg_decompress_per_byte: 165,
+            io_per_byte: 10,
+        }
+    }
+
+    /// Tiny costs for fast unit tests (compute no longer dominates).
+    pub fn test_tiny() -> AppCosts {
+        AppCosts {
+            mac_cycles: 1,
+            butterfly_cycles: 4,
+            jpeg_compress_per_byte: 1,
+            jpeg_decompress_per_byte: 1,
+            io_per_byte: 1,
+        }
+    }
+
+    /// Picks the calibrated set matching a host model.
+    pub fn for_host(host: &HostParams) -> AppCosts {
+        if host.name.contains("IPX") {
+            AppCosts::sparc_ipx()
+        } else if host.name.contains("ELC") {
+            AppCosts::sparc_elc()
+        } else {
+            AppCosts::test_tiny()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_sim::Dur;
+
+    #[test]
+    fn single_node_matmul_fits_table1() {
+        // 128x128x128 MACs at the calibrated rate must land within 3% of
+        // the paper's single-node times.
+        let macs = 128u64 * 128 * 128;
+        let elc = Dur::for_cycles(macs * AppCosts::sparc_elc().mac_cycles, 33_000_000);
+        assert!(
+            (elc.as_secs_f64() - 25.77).abs() / 25.77 < 0.03,
+            "ELC matmul {}s vs paper 25.77s",
+            elc.as_secs_f64()
+        );
+        let ipx = Dur::for_cycles(macs * AppCosts::sparc_ipx().mac_cycles, 40_000_000);
+        assert!(
+            (ipx.as_secs_f64() - 24.89).abs() / 24.89 < 0.03,
+            "IPX matmul {}s vs paper 24.89s",
+            ipx.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn single_node_fft_fits_table3() {
+        // 8 sample sets of M=512: 8 * (M/2) * log2(M) butterflies.
+        let bf = 8 * 256 * 9u64;
+        let elc = Dur::for_cycles(bf * AppCosts::sparc_elc().butterfly_cycles, 33_000_000);
+        assert!(
+            (elc.as_secs_f64() - 5.76).abs() / 5.76 < 0.03,
+            "ELC FFT {}s vs paper 5.76s",
+            elc.as_secs_f64()
+        );
+        let ipx = Dur::for_cycles(bf * AppCosts::sparc_ipx().butterfly_cycles, 40_000_000);
+        assert!(
+            (ipx.as_secs_f64() - 5.25).abs() / 5.25 < 0.03,
+            "IPX FFT {}s vs paper 5.25s",
+            ipx.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn host_dispatch() {
+        assert_eq!(
+            AppCosts::for_host(&HostParams::sparc_ipx()).mac_cycles,
+            AppCosts::sparc_ipx().mac_cycles
+        );
+        assert_eq!(
+            AppCosts::for_host(&HostParams::sparc_elc()).mac_cycles,
+            AppCosts::sparc_elc().mac_cycles
+        );
+        assert_eq!(
+            AppCosts::for_host(&HostParams::test_fast()).mac_cycles,
+            AppCosts::test_tiny().mac_cycles
+        );
+    }
+}

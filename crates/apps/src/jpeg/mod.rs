@@ -1,0 +1,15 @@
+//! A real grayscale JPEG-style codec (paper Section 5.2).
+//!
+//! The paper distributes "the sequential JPEG compression algorithm"; this
+//! module provides that sequential algorithm — 8×8 [`dct`], [`quant`]
+//! (T.81 tables with libjpeg quality scaling), [`zigzag`] scan and a
+//! run-length [`entropy`] coder — assembled in [`codec`].
+
+pub mod codec;
+pub mod dct;
+pub mod entropy;
+pub mod huffman;
+pub mod quant;
+pub mod zigzag;
+
+pub use codec::{compress, compress_with, decompress, CodecError, EntropyKind};

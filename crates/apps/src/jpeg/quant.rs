@@ -1,0 +1,99 @@
+//! Quantization — where JPEG throws information away.
+
+/// The ITU-T T.81 Annex K luminance quantization table (quality 50).
+pub const BASE_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Scales the base table for a quality factor 1..=100 (libjpeg's rule).
+pub fn table_for_quality(quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as u32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut t = [0u16; 64];
+    for (out, &base) in t.iter_mut().zip(BASE_LUMA.iter()) {
+        *out = ((u32::from(base) * scale + 50) / 100).clamp(1, 255) as u16;
+    }
+    t
+}
+
+/// Quantizes DCT coefficients (round-to-nearest).
+pub fn quantize(coeffs: &[f64; 64], table: &[u16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        out[i] = (coeffs[i] / f64::from(table[i])).round() as i16;
+    }
+    out
+}
+
+/// Dequantizes back to coefficient space.
+pub fn dequantize(q: &[i16; 64], table: &[u16; 64]) -> [f64; 64] {
+    let mut out = [0.0; 64];
+    for i in 0..64 {
+        out[i] = f64::from(q[i]) * f64::from(table[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_base_table() {
+        assert_eq!(table_for_quality(50), BASE_LUMA);
+    }
+
+    #[test]
+    fn higher_quality_divides_less() {
+        let q90 = table_for_quality(90);
+        let q10 = table_for_quality(10);
+        for i in 0..64 {
+            assert!(q90[i] <= BASE_LUMA[i]);
+            assert!(q10[i] >= BASE_LUMA[i]);
+        }
+    }
+
+    #[test]
+    fn entries_always_at_least_one() {
+        for q in [1u8, 25, 50, 75, 99, 100] {
+            assert!(table_for_quality(q).iter().all(|&v| (1..=255).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let table = table_for_quality(75);
+        let mut coeffs = [0.0; 64];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f64 - 32.0) * 7.3;
+        }
+        let q = quantize(&coeffs, &table);
+        let back = dequantize(&q, &table);
+        for i in 0..64 {
+            assert!(
+                (coeffs[i] - back[i]).abs() <= f64::from(table[i]) / 2.0 + 1e-9,
+                "bin {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_coefficients_vanish() {
+        let table = table_for_quality(50);
+        let mut coeffs = [0.4; 64];
+        coeffs[0] = 500.0;
+        let q = quantize(&coeffs, &table);
+        assert_ne!(q[0], 0);
+        assert!(
+            q[1..].iter().all(|&v| v == 0),
+            "tiny ACs must quantize to 0"
+        );
+    }
+}

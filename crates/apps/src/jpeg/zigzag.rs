@@ -1,0 +1,74 @@
+//! Zig-zag coefficient ordering: low frequencies first, so the quantized
+//! tail of zeros is contiguous and run-length codes well.
+
+/// Row-major index of the k-th coefficient in zig-zag order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Reorders a row-major block into zig-zag order.
+pub fn to_zigzag(block: &[i16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (k, &idx) in ZIGZAG.iter().enumerate() {
+        out[k] = block[idx];
+    }
+    out
+}
+
+/// Restores row-major order from zig-zag order.
+pub fn from_zigzag(zz: &[i16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (k, &idx) in ZIGZAG.iter().enumerate() {
+        out[idx] = zz[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn starts_dc_then_first_diagonal() {
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn diagonal_monotone_frequency() {
+        // Sum of (row, col) — the "frequency shell" — never decreases by
+        // more than 0 along the scan and covers 0..=14.
+        let mut prev_shell = 0;
+        for &idx in &ZIGZAG {
+            let shell = idx / 8 + idx % 8;
+            assert!(shell + 1 >= prev_shell, "shell jumped backwards at {idx}");
+            prev_shell = shell;
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut block = [0i16; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as i16 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ncs-apps — the paper's benchmark applications
+//!
+//! Real implementations of the three workloads the paper evaluates NCS on,
+//! each in two distributed variants: single-threaded p4 (the baseline) and
+//! multithreaded NCS_MTS/p4 (two threads per process):
+//!
+//! * [`matmul`] — host–node matrix multiplication (Table 1, Figures 13/14);
+//! * [`jpeg`] + [`jpeg_dist`] — a real DCT/quantization/RLE image codec and
+//!   the compress-half/decompress-half pipeline (Table 2, Figures 15–18);
+//! * [`fft`] — decimation-in-frequency FFT with the paper's block-pair
+//!   distribution (Table 3, Figures 19–21).
+//!
+//! Kernels execute for real and results are verified against sequential
+//! references; virtual time is charged through the calibrated [`costs`]
+//! models so simulated runs land on the paper's single-node measurements.
+
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod fft;
+pub mod jpeg;
+pub mod jpeg_dist;
+pub mod matmul;
+pub mod util;
+pub mod workloads;
+
+pub use costs::AppCosts;
+pub use workloads::{GrayImage, Matrix};

@@ -1,0 +1,119 @@
+//! Regenerates **Figures 4 and 16**: the computation/communication overlap
+//! timelines. Runs a small matmul (Fig. 4) or JPEG pipeline (Fig. 16) in
+//! both variants with span tracing enabled and renders ASCII Gantt charts
+//! plus per-actor utilization.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin fig_overlap -- matmul
+//! cargo run --release -p ncs-bench --bin fig_overlap -- jpeg
+//! ```
+
+use ncs_apps::jpeg_dist::{setup_jpeg_ncs, setup_jpeg_p4, JpegConfig};
+use ncs_apps::matmul::{setup_matmul_ncs, setup_matmul_p4, MatmulConfig};
+use ncs_net::Testbed;
+use ncs_sim::{Sim, SpanKind};
+
+/// Also dumps the spans as CSV under `results/` when `--csv` is passed.
+fn maybe_dump_csv(sim: &Sim, tag: &str) {
+    if std::env::args().any(|a| a == "--csv") {
+        std::fs::create_dir_all("results").expect("create results/");
+        let csv = sim.with_tracer(|tr| ncs_bench::spans_to_csv(tr.spans()));
+        let path = format!("results/overlap_{tag}.csv");
+        std::fs::write(&path, csv).expect("write CSV");
+        println!("(spans written to {path})");
+    }
+}
+
+fn render(sim: &Sim, title: &str) {
+    println!("\n### {title}");
+    let gantt = sim.with_tracer(|tr| tr.render_gantt(100));
+    print!("{gantt}");
+    let util = sim.with_tracer(|tr| tr.utilization());
+    println!("actor utilization (compute / comm / idle, seconds):");
+    for (actor, kinds) in util {
+        let g = |k: SpanKind| kinds.get(&k).map_or(0.0, |d| d.as_secs_f64());
+        println!(
+            "  {:24} {:8.2} / {:8.2} / {:8.2}",
+            actor,
+            g(SpanKind::Compute),
+            g(SpanKind::Comm),
+            g(SpanKind::Idle)
+        );
+    }
+}
+
+fn matmul_timelines() {
+    println!("# Figure 4 — matmul overlap timeline (2 nodes, NYNET testbed)");
+    let cfg = MatmulConfig::paper(2);
+
+    let sim = Sim::new();
+    sim.with_tracer(|tr| tr.enable());
+    let h = setup_matmul_p4(&sim, Testbed::NynetTcp.build(3), cfg);
+    let out = sim.run();
+    out.assert_clean();
+    assert!(h.verify());
+    render(
+        &sim,
+        &format!("p4 (single-threaded), total {}", out.end_time),
+    );
+    maybe_dump_csv(&sim, "matmul_p4");
+
+    let sim = Sim::new();
+    sim.with_tracer(|tr| tr.enable());
+    let h = setup_matmul_ncs(&sim, Testbed::NynetTcp.build(3), cfg);
+    let out = sim.run();
+    out.assert_clean();
+    assert!(h.verify());
+    render(
+        &sim,
+        &format!(
+            "NCS_MTS/p4 (two threads per process), total {}",
+            out.end_time
+        ),
+    );
+    maybe_dump_csv(&sim, "matmul_ncs");
+}
+
+fn jpeg_timelines() {
+    println!("# Figure 16 — JPEG pipeline timeline (4 nodes, Ethernet)");
+    let cfg = JpegConfig::paper(4);
+
+    let sim = Sim::new();
+    sim.with_tracer(|tr| tr.enable());
+    let h = setup_jpeg_p4(&sim, Testbed::SunEthernet.build(5), cfg);
+    let out = sim.run();
+    out.assert_clean();
+    assert!(h.verify());
+    render(
+        &sim,
+        &format!("p4 (single-threaded), total {}", out.end_time),
+    );
+    maybe_dump_csv(&sim, "jpeg_p4");
+
+    let sim = Sim::new();
+    sim.with_tracer(|tr| tr.enable());
+    let h = setup_jpeg_ncs(&sim, Testbed::SunEthernet.build(5), cfg);
+    let out = sim.run();
+    out.assert_clean();
+    assert!(h.verify());
+    render(
+        &sim,
+        &format!(
+            "NCS_MTS/p4 (two threads per process), total {}",
+            out.end_time
+        ),
+    );
+    maybe_dump_csv(&sim, "jpeg_ncs");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "matmul".into());
+    match which.as_str() {
+        "matmul" => matmul_timelines(),
+        "jpeg" => jpeg_timelines(),
+        other => {
+            eprintln!("unknown figure '{other}': use 'matmul' or 'jpeg'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Runs every experiment regenerator in sequence and writes each output to
+//! `results/<name>.txt` — the one-command path to refreshing every number
+//! in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin report
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+const BINS: [&str; 11] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig_datapath",
+    "fig_buffers",
+    "fig_fft_steps",
+    "xp_nsm_hsm",
+    "xp_flow",
+    "xp_cs_sweep",
+    "xp_entropy",
+    "xp_pvm",
+];
+
+fn main() {
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        print!("running {bin:>14} … ");
+        let output = Command::new(exe_dir.join(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let path = out_dir.join(format!("{bin}.txt"));
+        std::fs::write(&path, &output.stdout).expect("write result");
+        if output.status.success() {
+            println!("ok -> {}", path.display());
+        } else {
+            println!("FAILED (exit {:?})", output.status.code());
+            failures.push(bin);
+        }
+    }
+    // The timeline figures need an argument each.
+    for fig in ["matmul", "jpeg"] {
+        print!("running fig_overlap {fig:>6} … ");
+        let output = Command::new(exe_dir.join("fig_overlap"))
+            .arg(fig)
+            .output()
+            .expect("launch fig_overlap");
+        let path = out_dir.join(format!("fig_overlap_{fig}.txt"));
+        std::fs::write(&path, &output.stdout).expect("write result");
+        if output.status.success() {
+            println!("ok -> {}", path.display());
+        } else {
+            println!("FAILED");
+            failures.push("fig_overlap");
+        }
+    }
+    // xp_sweep last (it is the slowest).
+    print!("running {:>14} … ", "xp_sweep");
+    let output = Command::new(exe_dir.join("xp_sweep"))
+        .output()
+        .expect("launch xp_sweep");
+    std::fs::write(out_dir.join("xp_sweep.txt"), &output.stdout).expect("write result");
+    if output.status.success() {
+        println!("ok -> results/xp_sweep.txt");
+    } else {
+        println!("FAILED");
+        failures.push("xp_sweep");
+    }
+    assert!(failures.is_empty(), "experiments failed: {failures:?}");
+    println!("\nall experiments regenerated under results/");
+}

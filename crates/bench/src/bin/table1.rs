@@ -1,0 +1,46 @@
+//! Regenerates **Table 1**: execution times of 128×128 matrix
+//! multiplication, p4 vs NCS_MTS/p4, on the Ethernet and NYNET testbeds.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin table1
+//! ```
+
+use ncs_apps::matmul::{matmul_ncs, matmul_p4, MatmulConfig};
+use ncs_bench::{paper_table1, Comparison, Row};
+use ncs_net::Testbed;
+
+fn measure(testbed: Testbed, nodes_list: &[usize]) -> Vec<Row> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let cfg = MatmulConfig::paper(nodes);
+            let p4 = matmul_p4(testbed.build(nodes + 1), cfg);
+            let ncs = matmul_ncs(testbed.build(nodes + 1), cfg);
+            assert!(p4.verified, "p4 result mismatch at {nodes} nodes");
+            assert!(ncs.verified, "NCS result mismatch at {nodes} nodes");
+            Row {
+                nodes,
+                p4: p4.elapsed.as_secs_f64(),
+                ncs: ncs.elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Table 1 — Execution times of Matrix Multiplication (seconds)\n");
+    for (label, testbed, nodes) in [
+        ("Ethernet", Testbed::SunEthernet, &[1usize, 2, 4, 8][..]),
+        ("NYNET", Testbed::NynetTcp, &[1usize, 2, 4][..]),
+    ] {
+        let cmp = Comparison {
+            testbed: label,
+            measured: measure(testbed, nodes),
+            paper: paper_table1(label),
+        };
+        println!("{}", cmp.render());
+        for v in cmp.shape_violations() {
+            println!("SHAPE VIOLATION: {v}");
+        }
+    }
+}

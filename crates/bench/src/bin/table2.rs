@@ -1,0 +1,47 @@
+//! Regenerates **Table 2**: total execution times of the JPEG
+//! compression/decompression pipeline on a ~600 KB image, p4 vs
+//! NCS_MTS/p4, on the Ethernet and NYNET testbeds.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin table2
+//! ```
+
+use ncs_apps::jpeg_dist::{jpeg_ncs, jpeg_p4, JpegConfig};
+use ncs_bench::{paper_table2, Comparison, Row};
+use ncs_net::Testbed;
+
+fn measure(testbed: Testbed, nodes_list: &[usize]) -> Vec<Row> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let cfg = JpegConfig::paper(nodes);
+            let p4 = jpeg_p4(testbed.build(nodes + 1), cfg);
+            let ncs = jpeg_ncs(testbed.build(nodes + 1), cfg);
+            assert!(p4.verified, "p4 output mismatch at {nodes} nodes");
+            assert!(ncs.verified, "NCS output mismatch at {nodes} nodes");
+            Row {
+                nodes,
+                p4: p4.elapsed.as_secs_f64(),
+                ncs: ncs.elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Table 2 — Total execution times of JPEG pipeline (seconds)\n");
+    for (label, testbed, nodes) in [
+        ("Ethernet", Testbed::SunEthernet, &[2usize, 4, 8][..]),
+        ("NYNET", Testbed::NynetTcp, &[2usize, 4][..]),
+    ] {
+        let cmp = Comparison {
+            testbed: label,
+            measured: measure(testbed, nodes),
+            paper: paper_table2(label),
+        };
+        println!("{}", cmp.render());
+        for v in cmp.shape_violations() {
+            println!("SHAPE VIOLATION: {v}");
+        }
+    }
+}

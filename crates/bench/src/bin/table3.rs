@@ -1,0 +1,47 @@
+//! Regenerates **Table 3**: execution times of the distributed DIF FFT
+//! (M = 512 points, 8 sample sets), p4 vs NCS_MTS/p4, on the Ethernet and
+//! NYNET testbeds.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin table3
+//! ```
+
+use ncs_apps::fft::{fft_ncs, fft_p4, FftConfig};
+use ncs_bench::{paper_table3, Comparison, Row};
+use ncs_net::Testbed;
+
+fn measure(testbed: Testbed, nodes_list: &[usize]) -> Vec<Row> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let cfg = FftConfig::paper(nodes);
+            let p4 = fft_p4(testbed.build(nodes + 1), cfg);
+            let ncs = fft_ncs(testbed.build(nodes + 1), cfg);
+            assert!(p4.verified, "p4 spectrum mismatch at {nodes} nodes");
+            assert!(ncs.verified, "NCS spectrum mismatch at {nodes} nodes");
+            Row {
+                nodes,
+                p4: p4.elapsed.as_secs_f64(),
+                ncs: ncs.elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Table 3 — Execution times of FFT (seconds)\n");
+    for (label, testbed, nodes) in [
+        ("Ethernet", Testbed::SunEthernet, &[1usize, 2, 4, 8][..]),
+        ("NYNET", Testbed::NynetTcp, &[1usize, 2, 4][..]),
+    ] {
+        let cmp = Comparison {
+            testbed: label,
+            measured: measure(testbed, nodes),
+            paper: paper_table3(label),
+        };
+        println!("{}", cmp.render());
+        for v in cmp.shape_violations() {
+            println!("SHAPE VIOLATION: {v}");
+        }
+    }
+}

@@ -1,0 +1,1351 @@
+//! The NCS process environment: NCS_MPS over NCS_MTS (paper Figure 8).
+//!
+//! One [`NcsProc`] models one multithreaded NCS process. `init` (the
+//! `NCS_init` of Figure 10) builds the MTS runtime and the **system
+//! threads**; `t_create` adds user compute threads; `start` (`NCS_start`)
+//! runs everything to completion.
+//!
+//! The paper's architecture is kept intact:
+//!
+//! * `NCS_send` / `NCS_recv` *"wake up the send and receive threads
+//!   respectively and block the calling thread"* — only the calling
+//!   user-level thread blocks, never the process;
+//! * the **send thread** serializes outgoing transfers and spends its wire
+//!   waits through an MTS-aware policy, so sibling compute threads run
+//!   during transmission;
+//! * the **receive thread** polls the transport (`messages_available`
+//!   style) while siblings are runnable and parks in the kernel only when
+//!   the process would otherwise idle;
+//! * optional **flow control** (credit-based, Figure 5's per-application
+//!   QOS choice) gates data sends in the send thread and returns credits
+//!   from the receive thread.
+//!
+//! Message-class plumbing (signals, barriers, credits) shares the same two
+//! system threads, which is exactly the modularity argument of Section 3.
+
+use bytes::Bytes;
+use ncs_mts::{Mts, MtsConfig, MtsCtx, MtsTid};
+use ncs_net::stack::WaitPolicy;
+use ncs_net::{Delivery, HostParams, Network, NodeId};
+use ncs_sim::{Ctx, Dur, Sim, SimChannel, SpanKind};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::addr::{decode_tag, encode_tag, MsgClass, ThreadAddr};
+
+/// Flow-control strategy (the `flow` argument of `NCS_init`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowControl {
+    /// No NCS-level flow control: rely on the transport (what the paper's
+    /// NCS_MTS/p4 measurements use — "the flow and error control provided
+    /// by p4").
+    None,
+    /// Credit-based: a sender may have at most `window` unacknowledged data
+    /// messages to any one destination; the receiver returns credits as it
+    /// ingests.
+    Credit {
+        /// Per-destination message window.
+        window: u32,
+    },
+}
+
+/// Error-control strategy (the `error` argument of `NCS_init`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorControl {
+    /// Trust the transport (TCP or ATM with AAL5 CRC).
+    None,
+    /// NCS-level checksum with retransmit-on-NACK, for transports modeled
+    /// as corrupting (see [`crate::faulty::FaultyNet`]).
+    ChecksumRetransmit,
+}
+
+/// Configuration for one NCS process (the arguments of `NCS_init` plus
+/// scheduler and polling costs).
+#[derive(Clone, Debug)]
+pub struct NcsConfig {
+    /// User-level scheduler parameters.
+    pub mts: MtsConfig,
+    /// Flow-control thread selection.
+    pub flow: FlowControl,
+    /// Error-control thread selection.
+    pub error: ErrorControl,
+    /// CPU cost of one receive-thread poll of the transport
+    /// (`p4_messages_available`).
+    pub poll_cost: Dur,
+    /// Error control: how long to wait for an acknowledgment before
+    /// retransmitting (loss recovery; NACKs handle corruption faster).
+    pub retx_timeout: Dur,
+    /// Error control: give up (and raise a local delivery-failure
+    /// exception, code [`EXC_DELIVERY_FAILED`]) after this many timeouts.
+    pub max_retries: u32,
+}
+
+/// Exception code raised locally when error control exhausts its retries.
+pub const EXC_DELIVERY_FAILED: u32 = 0xDEAD_5E0D;
+
+impl Default for NcsConfig {
+    fn default() -> NcsConfig {
+        NcsConfig {
+            mts: MtsConfig::default(),
+            flow: FlowControl::None,
+            error: ErrorControl::None,
+            poll_cost: Dur::from_micros(10),
+            retx_timeout: Dur::from_millis(500),
+            max_retries: 8,
+        }
+    }
+}
+
+/// A message delivered to an NCS thread.
+#[derive(Clone, Debug)]
+pub struct NcsMsg {
+    /// Sending endpoint.
+    pub from: ThreadAddr,
+    /// Receiving thread (within this process).
+    pub to_thread: u32,
+    /// User tag.
+    pub tag: u32,
+    /// Payload.
+    pub data: Bytes,
+    class: MsgClass,
+}
+
+struct SendReq {
+    from_thread: u32,
+    to: ThreadAddr,
+    class: MsgClass,
+    user_tag: u32,
+    data: Bytes,
+    /// Transport tier index ([`NcsProc`] can carry several, e.g. NSM + HSM).
+    tier: usize,
+    /// Thread to unblock when the transfer completes (None for
+    /// system-generated traffic like credits).
+    waiter: Option<MtsTid>,
+    /// Payload already carries the error-control header (a retransmission).
+    prewrapped: bool,
+}
+
+struct RecvReq {
+    req_id: u64,
+    to_thread: u32,
+    class: MsgClass,
+    from_proc: Option<usize>,
+    from_thread: Option<u32>,
+    user_tag: Option<u32>,
+    waiter: MtsTid,
+    slot: Arc<Mutex<Option<NcsMsg>>>,
+}
+
+struct MpsState {
+    send_q: VecDeque<SendReq>,
+    recv_reqs: Vec<RecvReq>,
+    stash: VecDeque<NcsMsg>,
+    /// Remaining send credits per destination (credit flow control).
+    credits: HashMap<usize, u32>,
+    /// Data messages ingested per source since the last credit grant.
+    consumed: HashMap<usize, u32>,
+    /// The send thread is parked waiting for credits to this destination.
+    send_waiting_credit: Option<usize>,
+    shutdown: bool,
+    user_live: usize,
+    /// Statistics: data messages sent / received.
+    sent_msgs: u64,
+    recv_msgs: u64,
+    /// High-water mark of buffered-but-unconsumed messages (the stash).
+    peak_stash: usize,
+    /// Error control: next sequence number per destination.
+    next_seq: HashMap<usize, u32>,
+    /// Error control: sent-but-unacknowledged wrapped payloads, keyed by
+    /// (destination process, sequence number).
+    unacked: HashMap<(usize, u32), UnackedMsg>,
+    /// Statistics: retransmissions performed.
+    retransmits: u64,
+    /// Receive-request id allocator.
+    next_req_id: u64,
+    /// Error control: sequence numbers already delivered, per source — a
+    /// retransmitted frame whose ACK was lost must not be delivered twice.
+    seen_seqs: HashMap<usize, std::collections::HashSet<u32>>,
+}
+
+struct UnackedMsg {
+    to: ThreadAddr,
+    from_thread: u32,
+    user_tag: u32,
+    tier: usize,
+    wrapped: Bytes,
+    /// Timeout-driven retransmissions so far.
+    retries: u32,
+}
+
+struct UserThread {
+    mts_tid: MtsTid,
+    name: String,
+}
+
+struct ProcInner {
+    id: usize,
+    n: usize,
+    sim: Sim,
+    mts: Mts,
+    cfg: NcsConfig,
+    nets: Vec<Arc<dyn Network>>,
+    merged: SimChannel<(usize, Delivery)>,
+    state: Mutex<MpsState>,
+    sys: Mutex<SysThreads>,
+    users: Mutex<Vec<UserThread>>,
+    /// Exception handler invoked (on the receive system thread) for
+    /// incoming Exception-class messages.
+    exception_handler: Mutex<Option<ExceptionHandler>>,
+    /// Exceptions received before a handler was installed, or kept for
+    /// polling-style consumers.
+    pending_exceptions: Mutex<Vec<NcsException>>,
+}
+
+/// Callback invoked for incoming exceptions.
+pub type ExceptionHandler = Box<dyn Fn(&NcsException) + Send + 'static>;
+
+/// A cross-process exception notification (the paper's exception-handling
+/// service class).
+#[derive(Clone, Debug)]
+pub struct NcsException {
+    /// Raising endpoint.
+    pub from: ThreadAddr,
+    /// Application-defined code.
+    pub code: u32,
+    /// Free-form detail bytes.
+    pub detail: Bytes,
+}
+
+#[derive(Default)]
+struct SysThreads {
+    send: Option<MtsTid>,
+    recv: Option<MtsTid>,
+}
+
+/// Handle to one NCS process.
+#[derive(Clone)]
+pub struct NcsProc {
+    inner: Arc<ProcInner>,
+}
+
+/// MTS priority of the send system thread (highest: transfers start
+/// promptly once the CPU is free).
+pub const SEND_THREAD_PRIORITY: usize = 0;
+/// MTS priority of the receive system thread (lowest: it polls only when
+/// no user thread can run).
+pub const RECV_THREAD_PRIORITY: usize = ncs_mts::PRIORITY_LEVELS - 1;
+
+impl NcsProc {
+    /// `NCS_init`: builds the MTS runtime and system threads for process
+    /// `id` of `n`, attached to one or more transport tiers (`nets[0]` is
+    /// the default tier; a second entry typically carries the other of
+    /// NSM/HSM).
+    pub fn init(
+        sim: &Sim,
+        id: usize,
+        n: usize,
+        nets: Vec<Arc<dyn Network>>,
+        cfg: NcsConfig,
+    ) -> NcsProc {
+        assert!(!nets.is_empty(), "need at least one transport tier");
+        for net in &nets {
+            assert!(n <= net.nodes(), "more processes than testbed nodes");
+        }
+        assert!(id < n);
+        let mts = Mts::new(sim, format!("proc{id}"), cfg.mts.clone());
+        let merged = SimChannel::unbounded(format!("ncs-merged-{id}"));
+        let inner = Arc::new(ProcInner {
+            id,
+            n,
+            sim: sim.clone(),
+            mts,
+            cfg,
+            nets,
+            merged,
+            state: Mutex::new(MpsState {
+                send_q: VecDeque::new(),
+                recv_reqs: Vec::new(),
+                stash: VecDeque::new(),
+                credits: HashMap::new(),
+                consumed: HashMap::new(),
+                send_waiting_credit: None,
+                shutdown: false,
+                user_live: 0,
+                sent_msgs: 0,
+                recv_msgs: 0,
+                peak_stash: 0,
+                next_seq: HashMap::new(),
+                unacked: HashMap::new(),
+                retransmits: 0,
+                next_req_id: 0,
+                seen_seqs: HashMap::new(),
+            }),
+            sys: Mutex::new(SysThreads::default()),
+            users: Mutex::new(Vec::new()),
+            exception_handler: Mutex::new(None),
+            pending_exceptions: Mutex::new(Vec::new()),
+        });
+        let proc_ = NcsProc { inner };
+        proc_.spawn_forwarders();
+        proc_.spawn_system_threads();
+        proc_.seed_credits();
+        proc_
+    }
+
+    /// Forwarder daemons merge all transport inboxes into one channel so a
+    /// single receive thread can wait on "any tier" (pure plumbing: no
+    /// virtual time cost; the real pickup cost is charged by the receive
+    /// thread).
+    fn spawn_forwarders(&self) {
+        for (tier, net) in self.inner.nets.iter().enumerate() {
+            let inbox = net.inbox(NodeId(self.inner.id as u32));
+            let merged = self.inner.merged.clone();
+            self.inner
+                .sim
+                .spawn_daemon(format!("proc{}-fwd{}", self.inner.id, tier), move |ctx| {
+                    while let Ok(d) = inbox.recv(ctx) {
+                        if merged.offer(ctx.sim(), (tier, d)).is_err() {
+                            break; // process shut down
+                        }
+                    }
+                });
+        }
+    }
+
+    fn spawn_system_threads(&self) {
+        let send_inner = Arc::clone(&self.inner);
+        let send_tid = self
+            .inner
+            .mts
+            .spawn("ncs-send", SEND_THREAD_PRIORITY, move |m| {
+                send_thread_body(&send_inner, m);
+            });
+        let recv_inner = Arc::clone(&self.inner);
+        let recv_tid = self
+            .inner
+            .mts
+            .spawn("ncs-recv", RECV_THREAD_PRIORITY, move |m| {
+                recv_thread_body(&recv_inner, m);
+            });
+        let mut sys = self.inner.sys.lock();
+        sys.send = Some(send_tid);
+        sys.recv = Some(recv_tid);
+    }
+
+    fn seed_credits(&self) {
+        if let FlowControl::Credit { window } = self.inner.cfg.flow {
+            let mut st = self.inner.state.lock();
+            for p in 0..self.inner.n {
+                if p != self.inner.id {
+                    st.credits.insert(p, window);
+                }
+            }
+        }
+    }
+
+    /// `NCS_t_create`: creates a user compute thread. Returns its logical
+    /// thread id (0 for the first created thread, matching the paper's
+    /// THREAD1/THREAD2 numbering shifted to 0-based).
+    pub fn t_create(
+        &self,
+        name: impl Into<String>,
+        priority: usize,
+        body: impl FnOnce(&NcsCtx) + Send + 'static,
+    ) -> u32 {
+        assert!(
+            priority > SEND_THREAD_PRIORITY && priority < RECV_THREAD_PRIORITY,
+            "user priorities must lie strictly between the system threads'"
+        );
+        let name = name.into();
+        let logical = {
+            let users = self.inner.users.lock();
+            users.len() as u32
+        };
+        self.inner.state.lock().user_live += 1;
+        let proc_ = self.clone();
+        let mts_tid = self.inner.mts.spawn(name.clone(), priority, move |m| {
+            let nctx = NcsCtx {
+                proc: proc_.clone(),
+                mctx: m,
+                thread: logical,
+                actor: m.mts().actor(m.tid()),
+            };
+            body(&nctx);
+            proc_.user_thread_done();
+        });
+        self.inner.users.lock().push(UserThread { mts_tid, name });
+        logical
+    }
+
+    /// `NCS_start`: runs threads to completion. Blocks the calling green
+    /// thread (the process "main") until all user threads exit and the
+    /// system threads wind down.
+    pub fn start(&self, ctx: &Ctx) {
+        {
+            // A process with no user threads shuts down immediately.
+            let st = self.inner.state.lock();
+            if st.user_live == 0 {
+                drop(st);
+                self.begin_shutdown();
+            }
+        }
+        self.inner.mts.start(ctx);
+    }
+
+    fn user_thread_done(&self) {
+        let last = {
+            let mut st = self.inner.state.lock();
+            st.user_live -= 1;
+            st.user_live == 0
+        };
+        if last {
+            self.begin_shutdown();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let can_close = {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            st.unacked.is_empty()
+        };
+        // Wake the send thread so it can drain and exit; close the merged
+        // channel so the receive thread's kernel wait ends. With error
+        // control active, the close waits for the last acknowledgment
+        // (see `ingest`), since retransmissions may still be needed.
+        let send = self.inner.sys.lock().send;
+        if let Some(tid) = send {
+            self.inner.mts.unblock(&self.inner.sim, tid);
+        }
+        if can_close {
+            self.inner.merged.close(&self.inner.sim);
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> usize {
+        self.inner.id
+    }
+
+    /// Number of processes in the computation.
+    pub fn num_procs(&self) -> usize {
+        self.inner.n
+    }
+
+    /// The host model this process runs on (tier 0).
+    pub fn host(&self) -> &HostParams {
+        self.inner.nets[0].host(NodeId(self.inner.id as u32))
+    }
+
+    /// The MTS runtime (for stats and advanced use).
+    pub fn mts(&self) -> &Mts {
+        &self.inner.mts
+    }
+
+    /// Data messages sent and received so far.
+    pub fn msg_counts(&self) -> (u64, u64) {
+        let st = self.inner.state.lock();
+        (st.sent_msgs, st.recv_msgs)
+    }
+
+    /// Error-control retransmissions performed so far.
+    pub fn retransmits(&self) -> u64 {
+        self.inner.state.lock().retransmits
+    }
+
+    /// High-water mark of messages buffered in this process awaiting a
+    /// matching receive (the flow-control ablation's figure of merit).
+    pub fn peak_buffered(&self) -> usize {
+        self.inner.state.lock().peak_stash
+    }
+
+    /// Looks up the MTS tid of logical user thread `t`.
+    fn user_mts_tid(&self, t: u32) -> MtsTid {
+        self.inner.users.lock()[t as usize].mts_tid
+    }
+
+    /// Name of logical user thread `t`.
+    pub fn thread_name(&self, t: u32) -> String {
+        self.inner.users.lock()[t as usize].name.clone()
+    }
+
+    /// Installs the exception handler (the paper's exception-handling
+    /// service). Runs on the receive system thread for each incoming
+    /// exception; previously buffered exceptions are delivered immediately.
+    pub fn on_exception(&self, handler: impl Fn(&NcsException) + Send + 'static) {
+        let backlog = {
+            let mut h = self.inner.exception_handler.lock();
+            *h = Some(Box::new(handler));
+            std::mem::take(&mut *self.inner.pending_exceptions.lock())
+        };
+        if let Some(h) = self.inner.exception_handler.lock().as_ref() {
+            for e in &backlog {
+                h(e);
+            }
+        }
+    }
+
+    /// Exceptions received so far with no handler installed.
+    pub fn pending_exceptions(&self) -> Vec<NcsException> {
+        self.inner.pending_exceptions.lock().clone()
+    }
+
+    /// Delivers a same-process message directly (threads share the address
+    /// space, so "the B matrix is sent to a particular node only once").
+    fn deliver_local(&self, msg: NcsMsg) {
+        if msg.class == MsgClass::Exception {
+            let exc = NcsException {
+                from: msg.from,
+                code: msg.tag,
+                detail: msg.data,
+            };
+            let handled = {
+                let h = self.inner.exception_handler.lock();
+                if let Some(h) = h.as_ref() {
+                    h(&exc);
+                    true
+                } else {
+                    false
+                }
+            };
+            if !handled {
+                self.inner.pending_exceptions.lock().push(exc);
+            }
+            return;
+        }
+        let mut st = self.inner.state.lock();
+        st.stash.push_back(msg);
+        st.peak_stash = st.peak_stash.max(st.stash.len());
+        match_requests(&self.inner, &mut st);
+    }
+}
+
+/// Per-thread API handle (what the paper's primitives take implicitly from
+/// the calling thread's identity).
+pub struct NcsCtx<'a> {
+    proc: NcsProc,
+    mctx: &'a MtsCtx<'a>,
+    thread: u32,
+    actor: String,
+}
+
+/// MTS-aware wait policy: wire waits block only the calling (system)
+/// thread, letting sibling compute threads use the CPU — the heart of the
+/// paper's computation/communication overlap.
+struct MtsWait<'a, 'b>(&'a MtsCtx<'b>);
+
+impl WaitPolicy for MtsWait<'_, '_> {
+    fn wait(&self, _ctx: &Ctx, d: Dur) {
+        self.0.sleep(d);
+    }
+}
+
+impl NcsCtx<'_> {
+    /// This thread's address.
+    pub fn my_addr(&self) -> ThreadAddr {
+        ThreadAddr::new(self.proc.id(), self.thread)
+    }
+
+    /// This thread's logical id.
+    pub fn thread_id(&self) -> u32 {
+        self.thread
+    }
+
+    /// The owning process.
+    pub fn proc(&self) -> &NcsProc {
+        &self.proc
+    }
+
+    /// The MTS thread context.
+    pub fn mctx(&self) -> &MtsCtx<'_> {
+        self.mctx
+    }
+
+    /// Raw simulation context.
+    pub fn ctx(&self) -> &Ctx {
+        self.mctx.ctx()
+    }
+
+    /// Charges `cycles` of computation to this thread (CPU held) and
+    /// records a compute span for the timeline figures.
+    pub fn compute(&self, cycles: u64, label: &str) {
+        let t0 = self.ctx().now();
+        self.proc.host().compute(self.ctx(), cycles);
+        let t1 = self.ctx().now();
+        self.proc.inner.sim.with_tracer(|tr| {
+            tr.span(&self.actor, SpanKind::Compute, label, t0, t1);
+        });
+    }
+
+    /// `NCS_send`: transfers `data` to thread `to.thread` of process
+    /// `to.proc`. Blocks only this thread; the send system thread performs
+    /// the transfer.
+    pub fn send(&self, to: ThreadAddr, tag: u32, data: Bytes) {
+        self.send_class(MsgClass::Data, to, tag, data, 0);
+    }
+
+    /// `NCS_send` on an explicit transport tier (NSM vs HSM selection).
+    pub fn send_via(&self, tier: usize, to: ThreadAddr, tag: u32, data: Bytes) {
+        self.send_class(MsgClass::Data, to, tag, data, tier);
+    }
+
+    fn send_class(&self, class: MsgClass, to: ThreadAddr, tag: u32, data: Bytes, tier: usize) {
+        assert!(to.proc < self.proc.num_procs(), "destination out of range");
+        assert!(tier < self.proc.inner.nets.len(), "no such transport tier");
+        let t0 = self.ctx().now();
+        if to.proc == self.proc.id() {
+            // Local delivery: one copy at memory speed, no wire.
+            let h = self.proc.host();
+            let words = data.len().div_ceil(4) as u64;
+            self.ctx().sleep(h.bus_access.times(words.max(1)));
+            if class == MsgClass::Data {
+                self.proc.inner.state.lock().sent_msgs += 1;
+            }
+            self.proc.deliver_local(NcsMsg {
+                from: self.my_addr(),
+                to_thread: to.thread,
+                tag,
+                data,
+                class,
+            });
+        } else {
+            let send_tid = {
+                let mut st = self.proc.inner.state.lock();
+                st.send_q.push_back(SendReq {
+                    from_thread: self.thread,
+                    to,
+                    class,
+                    user_tag: tag,
+                    data,
+                    tier,
+                    waiter: Some(self.mctx.tid()),
+                    prewrapped: false,
+                });
+                self.proc
+                    .inner
+                    .sys
+                    .lock()
+                    .send
+                    .expect("send thread missing")
+            };
+            self.mctx.unblock(send_tid);
+            self.mctx.block();
+        }
+        let t1 = self.ctx().now();
+        self.proc.inner.sim.with_tracer(|tr| {
+            tr.span(&self.actor, SpanKind::Comm, "send", t0, t1);
+        });
+    }
+
+    /// `NCS_recv`: receives a data message addressed to this thread,
+    /// optionally filtered by source process, source thread, and tag
+    /// (`None` = the paper's `-1` wildcard). Blocks only this thread.
+    pub fn recv(
+        &self,
+        from_proc: Option<usize>,
+        from_thread: Option<u32>,
+        tag: Option<u32>,
+    ) -> NcsMsg {
+        self.recv_class(MsgClass::Data, from_proc, from_thread, tag)
+    }
+
+    /// Receives any data message for this thread.
+    pub fn recv_any(&self) -> NcsMsg {
+        self.recv(None, None, None)
+    }
+
+    /// Non-blocking check whether a matching data message is already
+    /// buffered for this thread (the NCS-level `messages_available`).
+    pub fn probe(
+        &self,
+        from_proc: Option<usize>,
+        from_thread: Option<u32>,
+        tag: Option<u32>,
+    ) -> bool {
+        let st = self.proc.inner.state.lock();
+        st.stash.iter().any(|m| {
+            m.class == MsgClass::Data
+                && m.to_thread == self.thread
+                && from_proc.is_none_or(|p| p == m.from.proc)
+                && from_thread.is_none_or(|t| t == m.from.thread)
+                && tag.is_none_or(|t| t == m.tag)
+        })
+    }
+
+    /// Like [`NcsCtx::recv`] but gives up after `timeout`, returning `None`
+    /// (for soft-deadline consumers such as the VOD player of Figure 5).
+    pub fn recv_timeout(
+        &self,
+        from_proc: Option<usize>,
+        from_thread: Option<u32>,
+        tag: Option<u32>,
+        timeout: Dur,
+    ) -> Option<NcsMsg> {
+        // Fast path.
+        {
+            let mut st = self.proc.inner.state.lock();
+            if let Some(m) = take_from_stash(
+                &mut st.stash,
+                self.thread,
+                MsgClass::Data,
+                from_proc,
+                from_thread,
+                tag,
+            ) {
+                st.recv_msgs += 1;
+                return Some(m);
+            }
+        }
+        let slot = Arc::new(Mutex::new(None));
+        let timed_out = Arc::new(Mutex::new(false));
+        let req_id = {
+            let mut st = self.proc.inner.state.lock();
+            let req_id = st.next_req_id;
+            st.next_req_id += 1;
+            st.recv_reqs.push(RecvReq {
+                req_id,
+                to_thread: self.thread,
+                class: MsgClass::Data,
+                from_proc,
+                from_thread,
+                user_tag: tag,
+                waiter: self.mctx.tid(),
+                slot: Arc::clone(&slot),
+            });
+            req_id
+        };
+        // Arm the expiry: if the request is still queued when the timer
+        // fires, cancel it and wake the waiter empty-handed.
+        let inner = Arc::clone(&self.proc.inner);
+        let waiter = self.mctx.tid();
+        let timed_out2 = Arc::clone(&timed_out);
+        self.ctx().sim().schedule_in(timeout, move |sim| {
+            let fire = {
+                let mut st = inner.state.lock();
+                match st.recv_reqs.iter().position(|r| r.req_id == req_id) {
+                    Some(pos) => {
+                        st.recv_reqs.remove(pos);
+                        true
+                    }
+                    None => false, // already satisfied
+                }
+            };
+            if fire {
+                *timed_out2.lock() = true;
+                inner.mts.unblock(sim, waiter);
+            }
+        });
+        loop {
+            self.mctx.block();
+            if let Some(m) = slot.lock().take() {
+                self.proc.inner.state.lock().recv_msgs += 1;
+                return Some(m);
+            }
+            if *timed_out.lock() {
+                return None;
+            }
+            // Spurious unblock: wait again.
+        }
+    }
+
+    fn recv_class(
+        &self,
+        class: MsgClass,
+        from_proc: Option<usize>,
+        from_thread: Option<u32>,
+        tag: Option<u32>,
+    ) -> NcsMsg {
+        let t0 = self.ctx().now();
+        let slot = Arc::new(Mutex::new(None));
+        let hit = {
+            let mut st = self.proc.inner.state.lock();
+            take_from_stash(
+                &mut st.stash,
+                self.thread,
+                class,
+                from_proc,
+                from_thread,
+                tag,
+            )
+        };
+        let msg = match hit {
+            Some(m) => m,
+            None => {
+                {
+                    let mut st = self.proc.inner.state.lock();
+                    let req_id = st.next_req_id;
+                    st.next_req_id += 1;
+                    st.recv_reqs.push(RecvReq {
+                        req_id,
+                        to_thread: self.thread,
+                        class,
+                        from_proc,
+                        from_thread,
+                        user_tag: tag,
+                        waiter: self.mctx.tid(),
+                        slot: Arc::clone(&slot),
+                    });
+                }
+                self.mctx.block();
+                slot.lock().take().expect("recv unblocked without message")
+            }
+        };
+        if class == MsgClass::Data {
+            self.proc.inner.state.lock().recv_msgs += 1;
+        }
+        let t1 = self.ctx().now();
+        self.proc.inner.sim.with_tracer(|tr| {
+            tr.span(&self.actor, SpanKind::Comm, "recv", t0, t1);
+        });
+        msg
+    }
+
+    /// `NCS_bcast`: sends `data` to every endpoint in `list`.
+    pub fn bcast(&self, list: &[ThreadAddr], tag: u32, data: Bytes) {
+        for &to in list {
+            self.send(to, tag, data.clone());
+        }
+    }
+
+    /// Sends a zero-byte synchronization signal to `to`.
+    pub fn signal(&self, to: ThreadAddr) {
+        self.send_class(MsgClass::Signal, to, 0, Bytes::new(), 0);
+    }
+
+    /// Raises an exception at process `to_proc` (the paper's exception
+    /// handling service): delivered asynchronously to the remote process's
+    /// handler rather than to a receiving thread.
+    pub fn raise(&self, to_proc: usize, code: u32, detail: Bytes) {
+        self.send_class(
+            MsgClass::Exception,
+            ThreadAddr::new(to_proc, 0),
+            code,
+            detail,
+            0,
+        );
+    }
+
+    /// Waits for a signal (optionally from a specific endpoint).
+    pub fn wait_signal(&self, from: Option<ThreadAddr>) {
+        let (fp, ft) = match from {
+            Some(a) => (Some(a.proc), Some(a.thread)),
+            None => (None, None),
+        };
+        self.recv_class(MsgClass::Signal, fp, ft, None);
+    }
+
+    /// Barrier among the listed endpoints; `parties[0]` acts as root.
+    /// Every listed thread must call this with the same list.
+    pub fn barrier(&self, parties: &[ThreadAddr]) {
+        if parties.len() <= 1 {
+            return;
+        }
+        let root = parties[0];
+        let me = self.my_addr();
+        debug_assert!(parties.contains(&me), "caller must be a party");
+        if me == root {
+            for _ in 1..parties.len() {
+                self.recv_class(MsgClass::BarArrive, None, None, None);
+            }
+            for &p in &parties[1..] {
+                self.send_class(MsgClass::BarGo, p, 0, Bytes::new(), 0);
+            }
+        } else {
+            self.send_class(MsgClass::BarArrive, root, 0, Bytes::new(), 0);
+            self.recv_class(MsgClass::BarGo, Some(root.proc), Some(root.thread), None);
+        }
+    }
+
+    /// `NCS_block` on this thread (paper API; used with [`NcsCtx::unblock`]
+    /// for intra-process synchronization as in the JPEG host code).
+    pub fn block(&self) {
+        self.mctx.block();
+    }
+
+    /// `NCS_unblock`: unblocks logical user thread `t` of this process.
+    pub fn unblock(&self, t: u32) {
+        let tid = self.proc.user_mts_tid(t);
+        self.mctx.unblock(tid);
+    }
+
+    /// Yields the CPU to sibling threads.
+    pub fn yield_now(&self) {
+        self.mctx.yield_now();
+    }
+}
+
+fn take_from_stash(
+    stash: &mut VecDeque<NcsMsg>,
+    to_thread: u32,
+    class: MsgClass,
+    from_proc: Option<usize>,
+    from_thread: Option<u32>,
+    tag: Option<u32>,
+) -> Option<NcsMsg> {
+    let pos = stash.iter().position(|m| {
+        m.class == class
+            && m.to_thread == to_thread
+            && from_proc.is_none_or(|p| p == m.from.proc)
+            && from_thread.is_none_or(|t| t == m.from.thread)
+            && tag.is_none_or(|t| t == m.tag)
+    })?;
+    stash.remove(pos)
+}
+
+/// Matches queued receive requests against stashed messages, unblocking
+/// satisfied waiters. Must be called with the state lock held.
+fn match_requests(inner: &ProcInner, st: &mut MpsState) {
+    let mut i = 0;
+    while i < st.recv_reqs.len() {
+        let req = &st.recv_reqs[i];
+        let hit = take_from_stash(
+            &mut st.stash,
+            req.to_thread,
+            req.class,
+            req.from_proc,
+            req.from_thread,
+            req.user_tag,
+        );
+        // Borrow gymnastics: `take_from_stash` needs &mut stash while req
+        // borrows recv_reqs — split via index re-borrowing.
+        match hit {
+            Some(msg) => {
+                let req = st.recv_reqs.remove(i);
+                *req.slot.lock() = Some(msg);
+                inner.mts.unblock(&inner.sim, req.waiter);
+            }
+            None => i += 1,
+        }
+    }
+}
+
+/// Wraps a payload with the error-control header: `[seq u32][crc u32]data`
+/// where the CRC covers the sequence number and the data.
+fn wrap_checked(seq: u32, data: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(8 + data.len());
+    v.extend_from_slice(&seq.to_le_bytes());
+    let mut crc_input = Vec::with_capacity(4 + data.len());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(data);
+    v.extend_from_slice(&ncs_net::crc::crc32_aal5(&crc_input).to_le_bytes());
+    v.extend_from_slice(data);
+    Bytes::from(v)
+}
+
+/// Parses and verifies a checked payload. Returns `(seq, Ok(data))` on a
+/// clean frame, `(seq, Err(()))` on corruption.
+#[allow(clippy::result_unit_err)]
+fn unwrap_checked(b: &Bytes) -> (u32, Result<Bytes, ()>) {
+    if b.len() < 8 {
+        return (0, Err(()));
+    }
+    let seq = u32::from_le_bytes(b[..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(b[4..8].try_into().unwrap());
+    let mut crc_input = Vec::with_capacity(b.len() - 4);
+    crc_input.extend_from_slice(&b[..4]);
+    crc_input.extend_from_slice(&b[8..]);
+    if ncs_net::crc::crc32_aal5(&crc_input) == crc {
+        (seq, Ok(b.slice(8..)))
+    } else {
+        (seq, Err(()))
+    }
+}
+
+/// Arms (or re-arms) the loss-recovery timer for one unacknowledged frame.
+fn arm_retx_timer(inner: &Arc<ProcInner>, dst: usize, seq: u32) {
+    let inner = Arc::clone(inner);
+    let timeout = inner.cfg.retx_timeout;
+    inner.sim.clone().schedule_in(timeout, move |sim| {
+        retx_fire(&inner, sim, dst, seq);
+    });
+}
+
+/// Timer expiry: retransmit if still unacknowledged, give up after the
+/// retry budget (raising a local delivery-failure exception).
+fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
+    enum Action {
+        Done,
+        Retry,
+        GiveUp(ThreadAddr, u32),
+    }
+    let action = {
+        let mut st = inner.state.lock();
+        match st.unacked.get_mut(&(dst, seq)) {
+            None => Action::Done, // acknowledged in the meantime
+            Some(u) if u.retries >= inner.cfg.max_retries => {
+                let to = u.to;
+                let tag = u.user_tag;
+                st.unacked.remove(&(dst, seq));
+                Action::GiveUp(to, tag)
+            }
+            Some(u) => {
+                u.retries += 1;
+                let req = SendReq {
+                    from_thread: u.from_thread,
+                    to: u.to,
+                    class: MsgClass::Data,
+                    user_tag: u.user_tag,
+                    data: u.wrapped.clone(),
+                    tier: u.tier,
+                    waiter: None,
+                    prewrapped: true,
+                };
+                st.retransmits += 1;
+                st.send_q.push_back(req);
+                Action::Retry
+            }
+        }
+    };
+    match action {
+        Action::Done => {}
+        Action::Retry => {
+            if let Some(tid) = inner.sys.lock().send {
+                inner.mts.unblock(sim, tid);
+            }
+            arm_retx_timer(inner, dst, seq);
+        }
+        Action::GiveUp(to, tag) => {
+            // Deliver the failure to the local exception service.
+            let exc = NcsException {
+                from: to,
+                code: EXC_DELIVERY_FAILED,
+                detail: Bytes::from(tag.to_le_bytes().to_vec()),
+            };
+            let handled = {
+                let h = inner.exception_handler.lock();
+                if let Some(h) = h.as_ref() {
+                    h(&exc);
+                    true
+                } else {
+                    false
+                }
+            };
+            if !handled {
+                inner.pending_exceptions.lock().push(exc);
+            }
+            // Shutdown may have been waiting on this frame.
+            let (empty, shutdown) = {
+                let st = inner.state.lock();
+                (st.unacked.is_empty(), st.shutdown)
+            };
+            if empty {
+                if let Some(tid) = inner.sys.lock().send {
+                    inner.mts.unblock(sim, tid);
+                }
+                if shutdown {
+                    inner.merged.close(sim);
+                }
+            }
+        }
+    }
+}
+
+/// Body of the send system thread.
+fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
+    let policy = MtsWait(m);
+    loop {
+        let req = {
+            let mut st = inner.state.lock();
+            match st.send_q.pop_front() {
+                Some(r) => Some(r),
+                None => {
+                    if st.shutdown && st.unacked.is_empty() {
+                        break;
+                    }
+                    None
+                }
+            }
+        };
+        let Some(mut req) = req else {
+            m.block(); // woken by NCS_send (or shutdown / final ack)
+            continue;
+        };
+        // Error control: frame data messages with a sequence number and
+        // checksum, keeping a copy for retransmission until acknowledged.
+        if inner.cfg.error == ErrorControl::ChecksumRetransmit
+            && req.class == MsgClass::Data
+            && !req.prewrapped
+        {
+            let mut st = inner.state.lock();
+            let seq = {
+                let c = st.next_seq.entry(req.to.proc).or_insert(0);
+                let s = *c;
+                *c += 1;
+                s
+            };
+            let wrapped = wrap_checked(seq, &req.data);
+            st.unacked.insert(
+                (req.to.proc, seq),
+                UnackedMsg {
+                    to: req.to,
+                    from_thread: req.from_thread,
+                    user_tag: req.user_tag,
+                    tier: req.tier,
+                    wrapped: wrapped.clone(),
+                    retries: 0,
+                },
+            );
+            drop(st);
+            arm_retx_timer(inner, req.to.proc, seq);
+            req.data = wrapped;
+        }
+        // Credit flow control gates only application data.
+        if req.class == MsgClass::Data {
+            if let FlowControl::Credit { .. } = inner.cfg.flow {
+                loop {
+                    let ok = {
+                        let mut st = inner.state.lock();
+                        let c = st.credits.entry(req.to.proc).or_insert(0);
+                        if *c > 0 {
+                            *c -= 1;
+                            true
+                        } else {
+                            st.send_waiting_credit = Some(req.to.proc);
+                            false
+                        }
+                    };
+                    if ok {
+                        break;
+                    }
+                    m.block(); // woken when credits arrive
+                }
+            }
+        }
+        let net = &inner.nets[req.tier];
+        let tag = encode_tag(req.class, req.from_thread, req.to.thread, req.user_tag);
+        net.send(
+            m.ctx(),
+            &policy,
+            NodeId(inner.id as u32),
+            NodeId(req.to.proc as u32),
+            tag,
+            req.data,
+        );
+        if req.class == MsgClass::Data {
+            inner.state.lock().sent_msgs += 1;
+        }
+        if let Some(w) = req.waiter {
+            m.unblock(w);
+        }
+    }
+}
+
+/// Body of the receive system thread.
+fn recv_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
+    loop {
+        // Poll the transport (a `p4_messages_available` round).
+        if !inner.cfg.poll_cost.is_zero() {
+            m.ctx().sleep(inner.cfg.poll_cost);
+        }
+        let mut progress = false;
+        while let Some((tier, d)) = inner.merged.try_recv(&inner.sim) {
+            ingest(inner, m, tier, d);
+            progress = true;
+        }
+        {
+            let mut st = inner.state.lock();
+            match_requests(inner, &mut st);
+        }
+        if progress {
+            continue;
+        }
+        {
+            // Exit only when the process is done AND error control has no
+            // outstanding frames that might still need retransmission.
+            let st = inner.state.lock();
+            if st.shutdown && st.unacked.is_empty() && inner.merged.is_empty() {
+                break;
+            }
+        }
+        if inner.mts.has_runnable() {
+            // Others can use the CPU; poll again at the next dispatch.
+            m.yield_now();
+            continue;
+        }
+        // Process otherwise idle: wait in the kernel for the next delivery.
+        let next = m.external_block(|| inner.merged.recv(m.ctx()));
+        match next {
+            Ok((tier, d)) => {
+                ingest(inner, m, tier, d);
+                let mut st = inner.state.lock();
+                match_requests(inner, &mut st);
+            }
+            Err(_closed) => break,
+        }
+    }
+}
+
+/// Moves one delivery into the stash, charging receive-side protocol cost
+/// and running class-specific plumbing (credits).
+fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
+    let net = &inner.nets[tier];
+    let cost = net.recv_pickup_cost(NodeId(inner.id as u32), d.payload.len());
+    m.ctx().sleep(cost);
+    let (class, from_thread, to_thread, user_tag) = decode_tag(d.tag);
+    let from = ThreadAddr::new(d.src.idx(), from_thread);
+    let mut payload = d.payload;
+    // Credit flow control accounts every data arrival — including frames
+    // the error control below rejects (the transport buffer was used and
+    // freed either way; otherwise corrupted frames would leak credits and
+    // starve the sender).
+    if class == MsgClass::Data {
+        if let FlowControl::Credit { window } = inner.cfg.flow {
+            let grant = {
+                let mut st = inner.state.lock();
+                let consumed = st.consumed.entry(from.proc).or_insert(0);
+                *consumed += 1;
+                let grant_at = (window / 2).max(1);
+                if *consumed >= grant_at {
+                    let g = *consumed;
+                    *consumed = 0;
+                    st.send_q.push_back(SendReq {
+                        from_thread: 0,
+                        to: ThreadAddr::new(from.proc, 0),
+                        class: MsgClass::Credit,
+                        user_tag: g,
+                        data: Bytes::new(),
+                        tier,
+                        waiter: None,
+                        prewrapped: false,
+                    });
+                    true
+                } else {
+                    false
+                }
+            };
+            if grant {
+                if let Some(tid) = inner.sys.lock().send {
+                    inner.mts.unblock(&inner.sim, tid);
+                }
+            }
+        }
+    }
+    // Error control: verify framed data; acknowledge or request retransmit.
+    if inner.cfg.error == ErrorControl::ChecksumRetransmit && class == MsgClass::Data {
+        let (seq, parsed) = unwrap_checked(&payload);
+        let (reply_class, duplicate) = match parsed {
+            Ok(clean) => {
+                payload = clean;
+                let dup = !inner
+                    .state
+                    .lock()
+                    .seen_seqs
+                    .entry(from.proc)
+                    .or_default()
+                    .insert(seq);
+                (MsgClass::Ack, dup)
+            }
+            Err(()) => (MsgClass::Nack, false),
+        };
+        {
+            let mut st = inner.state.lock();
+            st.send_q.push_back(SendReq {
+                from_thread: 0,
+                to: ThreadAddr::new(from.proc, 0),
+                class: reply_class,
+                user_tag: seq,
+                data: Bytes::new(),
+                tier,
+                waiter: None,
+                prewrapped: false,
+            });
+        }
+        if let Some(tid) = inner.sys.lock().send {
+            inner.mts.unblock(&inner.sim, tid);
+        }
+        if reply_class == MsgClass::Nack {
+            return; // drop the corrupted frame; the sender retransmits
+        }
+        if duplicate {
+            return; // re-ACKed above; already delivered once
+        }
+    }
+    match class {
+        MsgClass::Ack => {
+            let seq = user_tag;
+            let (empty_after, shutdown) = {
+                let mut st = inner.state.lock();
+                st.unacked.remove(&(from.proc, seq));
+                (st.unacked.is_empty(), st.shutdown)
+            };
+            if empty_after {
+                if let Some(tid) = inner.sys.lock().send {
+                    inner.mts.unblock(&inner.sim, tid);
+                }
+                if shutdown {
+                    inner.merged.close(&inner.sim);
+                }
+            }
+        }
+        MsgClass::Nack => {
+            let seq = user_tag;
+            let resend = {
+                let st = inner.state.lock();
+                st.unacked.get(&(from.proc, seq)).map(|u| SendReq {
+                    from_thread: u.from_thread,
+                    to: u.to,
+                    class: MsgClass::Data,
+                    user_tag: u.user_tag,
+                    data: u.wrapped.clone(),
+                    tier: u.tier,
+                    waiter: None,
+                    prewrapped: true,
+                })
+            };
+            if let Some(req) = resend {
+                let mut st = inner.state.lock();
+                st.retransmits += 1;
+                st.send_q.push_back(req);
+                drop(st);
+                if let Some(tid) = inner.sys.lock().send {
+                    inner.mts.unblock(&inner.sim, tid);
+                }
+            }
+        }
+        MsgClass::Exception => {
+            let exc = NcsException {
+                from,
+                code: user_tag,
+                detail: payload,
+            };
+            let handled = {
+                let h = inner.exception_handler.lock();
+                if let Some(h) = h.as_ref() {
+                    h(&exc);
+                    true
+                } else {
+                    false
+                }
+            };
+            if !handled {
+                inner.pending_exceptions.lock().push(exc);
+            }
+        }
+        MsgClass::Credit => {
+            let wake = {
+                let mut st = inner.state.lock();
+                *st.credits.entry(from.proc).or_insert(0) += user_tag;
+                st.send_waiting_credit == Some(from.proc)
+            };
+            if wake {
+                let send = inner.sys.lock().send;
+                if let Some(tid) = send {
+                    inner.state.lock().send_waiting_credit = None;
+                    inner.mts.unblock(&inner.sim, tid);
+                }
+            }
+        }
+        _ => {
+            let mut st = inner.state.lock();
+            st.stash.push_back(NcsMsg {
+                from,
+                to_thread,
+                tag: user_tag,
+                data: payload,
+                class,
+            });
+            st.peak_stash = st.peak_stash.max(st.stash.len());
+        }
+    }
+}

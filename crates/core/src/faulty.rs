@@ -1,0 +1,225 @@
+//! Fault injection: a corrupting transport wrapper.
+//!
+//! ATM links in the field flip bits; AAL5's CRC-32 catches them at the
+//! adaptation layer, but NCS's Normal Speed Mode can also ride transports
+//! modeled as unreliable. [`FaultyNet`] wraps any [`Network`] and corrupts
+//! message payloads with a configurable, seeded probability, so tests can
+//! drive the NCS checksum/retransmit error-control thread end to end
+//! ([`crate::env::ErrorControl::ChecksumRetransmit`]).
+
+use bytes::Bytes;
+use ncs_net::stack::WaitPolicy;
+use ncs_net::{Delivery, HostParams, Network, NodeId};
+use ncs_sim::{Ctx, Dur, SimChannel, SimRng};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A transport decorator that corrupts one payload byte with probability
+/// `p_corrupt`, and silently discards whole messages with probability
+/// `p_drop`, per message. Deterministic under a fixed seed.
+pub struct FaultyNet {
+    inner: Arc<dyn Network>,
+    p_corrupt: f64,
+    p_drop: f64,
+    rng: Mutex<SimRng>,
+    corrupted: Mutex<u64>,
+    dropped: Mutex<u64>,
+}
+
+impl FaultyNet {
+    /// Wraps `inner`, corrupting with probability `p_corrupt` (0..=1).
+    pub fn new(inner: Arc<dyn Network>, p_corrupt: f64, seed: u64) -> FaultyNet {
+        Self::with_loss(inner, p_corrupt, 0.0, seed)
+    }
+
+    /// Wraps `inner` with both corruption and loss.
+    pub fn with_loss(inner: Arc<dyn Network>, p_corrupt: f64, p_drop: f64, seed: u64) -> FaultyNet {
+        assert!((0.0..=1.0).contains(&p_corrupt));
+        assert!((0.0..=1.0).contains(&p_drop));
+        FaultyNet {
+            inner,
+            p_corrupt,
+            p_drop,
+            rng: Mutex::new(SimRng::new(seed)),
+            corrupted: Mutex::new(0),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Messages corrupted so far.
+    pub fn corrupted_count(&self) -> u64 {
+        *self.corrupted.lock()
+    }
+
+    /// Messages silently discarded so far.
+    pub fn dropped_count(&self) -> u64 {
+        *self.dropped.lock()
+    }
+}
+
+impl Network for FaultyNet {
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn host(&self, node: NodeId) -> &HostParams {
+        self.inner.host(node)
+    }
+
+    fn send(
+        &self,
+        ctx: &Ctx,
+        policy: &dyn WaitPolicy,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+        payload: Bytes,
+    ) {
+        {
+            let mut rng = self.rng.lock();
+            if rng.gen_bool(self.p_drop) {
+                // The message vanishes on the wire (a burst error past the
+                // CRC budget, a dropped cell). Sender-side costs are
+                // skipped with it — loss is rare enough that the timing
+                // error is negligible, and the protocol-level consequences
+                // (timeout, retransmit) are what the tests exercise.
+                *self.dropped.lock() += 1;
+                return;
+            }
+        }
+        let payload = {
+            let mut rng = self.rng.lock();
+            if !payload.is_empty() && rng.gen_bool(self.p_corrupt) {
+                let mut v = payload.to_vec();
+                let idx = rng.gen_index(v.len());
+                v[idx] ^= 0x40;
+                *self.corrupted.lock() += 1;
+                Bytes::from(v)
+            } else {
+                payload
+            }
+        };
+        self.inner.send(ctx, policy, src, dst, tag, payload);
+    }
+
+    fn inbox(&self, node: NodeId) -> SimChannel<Delivery> {
+        self.inner.inbox(node)
+    }
+
+    fn recv_pickup_cost(&self, node: NodeId, bytes: usize) -> Dur {
+        self.inner.recv_pickup_cost(node, bytes)
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "{} with byte corruption p={}",
+            self.inner.description(),
+            self.p_corrupt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncs_net::stack::BlockingWait;
+    use ncs_net::{IdealFabric, TcpNet, TcpParams};
+    use ncs_sim::Sim;
+
+    fn base_net(n: usize) -> Arc<dyn Network> {
+        let fabric = Arc::new(IdealFabric::new(n, Dur::from_micros(5)));
+        let hosts = (0..n).map(|_| HostParams::test_fast()).collect();
+        Arc::new(TcpNet::new(fabric, hosts, TcpParams::ethernet()))
+    }
+
+    #[test]
+    fn zero_probability_never_corrupts() {
+        let net = Arc::new(FaultyNet::new(base_net(2), 0.0, 1));
+        let sim = Sim::new();
+        let n2 = Arc::clone(&net);
+        sim.spawn("tx", move |ctx| {
+            for _ in 0..50 {
+                n2.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    0,
+                    Bytes::from_static(b"abc"),
+                );
+            }
+        });
+        let n3 = Arc::clone(&net);
+        sim.spawn("rx", move |ctx| {
+            let inbox = n3.inbox(NodeId(1));
+            for _ in 0..50 {
+                let d = inbox.recv(ctx).unwrap();
+                assert_eq!(&d.payload[..], b"abc");
+            }
+        });
+        sim.run().assert_clean();
+        assert_eq!(net.corrupted_count(), 0);
+    }
+
+    #[test]
+    fn certain_probability_always_corrupts() {
+        let net = Arc::new(FaultyNet::new(base_net(2), 1.0, 2));
+        let sim = Sim::new();
+        let n2 = Arc::clone(&net);
+        sim.spawn("tx", move |ctx| {
+            n2.send(
+                ctx,
+                &BlockingWait,
+                NodeId(0),
+                NodeId(1),
+                0,
+                Bytes::from_static(b"abcd"),
+            );
+        });
+        let n3 = Arc::clone(&net);
+        sim.spawn("rx", move |ctx| {
+            let d = n3.inbox(NodeId(1)).recv(ctx).unwrap();
+            assert_ne!(&d.payload[..], b"abcd", "must be corrupted");
+            assert_eq!(d.payload.len(), 4, "corruption preserves length");
+        });
+        sim.run().assert_clean();
+        assert_eq!(net.corrupted_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed: u64| {
+            let net = Arc::new(FaultyNet::new(base_net(2), 0.5, seed));
+            let sim = Sim::new();
+            let n2 = Arc::clone(&net);
+            sim.spawn("tx", move |ctx| {
+                for i in 0..100u8 {
+                    n2.send(
+                        ctx,
+                        &BlockingWait,
+                        NodeId(0),
+                        NodeId(1),
+                        0,
+                        Bytes::from(vec![i; 16]),
+                    );
+                }
+            });
+            sim.run().assert_clean();
+            net.corrupted_count()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(1234567), "different seeds should differ");
+    }
+
+    #[test]
+    fn empty_payloads_pass_untouched() {
+        let net = Arc::new(FaultyNet::new(base_net(2), 1.0, 3));
+        let sim = Sim::new();
+        let n2 = Arc::clone(&net);
+        sim.spawn("tx", move |ctx| {
+            n2.send(ctx, &BlockingWait, NodeId(0), NodeId(1), 9, Bytes::new());
+        });
+        sim.run().assert_clean();
+        assert_eq!(net.corrupted_count(), 0);
+    }
+}

@@ -1,0 +1,820 @@
+//! End-to-end tests of the NCS environment: the paper's API and, most
+//! importantly, its core claim — that NCS_recv blocks only the calling
+//! thread, so computation overlaps communication.
+
+use bytes::Bytes;
+use ncs_core::faulty::FaultyNet;
+use ncs_core::filters::{MpiFilter, P4Filter, PvmFilter};
+use ncs_core::group::{all_to_all, gather, reduce_f64, scatter, ReduceOp};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig, NcsWorld, ThreadAddr};
+use ncs_net::{HostParams, IdealFabric, Network, TcpNet, TcpParams, Testbed};
+use ncs_sim::{Dur, Sim, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fast_net(n: usize, latency: Dur) -> Arc<dyn Network> {
+    let fabric = Arc::new(IdealFabric::new(n, latency));
+    let hosts = (0..n).map(|_| HostParams::test_fast()).collect();
+    Arc::new(TcpNet::new(fabric, hosts, TcpParams::ip_over_atm()))
+}
+
+fn quick_cfg() -> NcsConfig {
+    NcsConfig {
+        poll_cost: Dur::from_nanos(100),
+        ..NcsConfig::default()
+    }
+}
+
+#[test]
+fn ping_pong_between_threads() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(20));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("worker", 5, move |ncs| {
+            if ncs.proc().id() == 0 {
+                ncs.send(ThreadAddr::new(1, 0), 1, Bytes::from_static(b"ping"));
+                let m = ncs.recv(Some(1), None, Some(2));
+                assert_eq!(&m.data[..], b"pong");
+            } else {
+                let m = ncs.recv(Some(0), None, Some(1));
+                assert_eq!(&m.data[..], b"ping");
+                ncs.send(m.from, 2, Bytes::from_static(b"pong"));
+            }
+        });
+        let _ = id;
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn recv_blocks_only_calling_thread() {
+    // The paper's core claim. Process 1 has two threads: one waits for a
+    // message that arrives late, the other computes. With NCS the compute
+    // thread finishes on schedule; the process CPU never idles while
+    // useful work exists.
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let compute_done_at = Arc::new(Mutex::new(SimTime::ZERO));
+    let cd = Arc::clone(&compute_done_at);
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), move |id, proc_| {
+        if id == 0 {
+            proc_.t_create("sender", 5, |ncs| {
+                // Send only after 50 ms of "thinking".
+                ncs.ctx().sleep(Dur::from_millis(50));
+                ncs.send(ThreadAddr::new(1, 0), 1, Bytes::from_static(b"late"));
+            });
+        } else {
+            proc_.t_create("receiver", 5, |ncs| {
+                let m = ncs.recv_any();
+                assert_eq!(&m.data[..], b"late");
+                assert!(ncs.ctx().now() >= SimTime::ZERO + Dur::from_millis(50));
+            });
+            let cd = Arc::clone(&cd);
+            proc_.t_create("computer", 6, move |ncs| {
+                ncs.compute(10_000_000, "work"); // 10 ms at 1 GHz
+                *cd.lock() = ncs.ctx().now();
+            });
+        }
+    });
+    sim.run().assert_clean();
+    let done = *compute_done_at.lock();
+    // The computer must NOT have waited for the receiver's message: it
+    // finishes in ~10 ms, far before the 50 ms message.
+    assert!(
+        done < SimTime::ZERO + Dur::from_millis(20),
+        "compute finished at {done}, was blocked behind recv"
+    );
+}
+
+#[test]
+fn single_threaded_process_blocks_like_p4() {
+    // Sanity check of the baseline-vs-NCS distinction: if the same process
+    // does recv-then-compute in ONE thread, the compute is delayed.
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let compute_done_at = Arc::new(Mutex::new(SimTime::ZERO));
+    let cd = Arc::clone(&compute_done_at);
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), move |id, proc_| {
+        if id == 0 {
+            proc_.t_create("sender", 5, |ncs| {
+                ncs.ctx().sleep(Dur::from_millis(50));
+                ncs.send(ThreadAddr::new(1, 0), 1, Bytes::from_static(b"late"));
+            });
+        } else {
+            let cd = Arc::clone(&cd);
+            proc_.t_create("serial", 5, move |ncs| {
+                let _ = ncs.recv_any();
+                ncs.compute(10_000_000, "work");
+                *cd.lock() = ncs.ctx().now();
+            });
+        }
+    });
+    sim.run().assert_clean();
+    assert!(*compute_done_at.lock() >= SimTime::ZERO + Dur::from_millis(60));
+}
+
+#[test]
+fn local_send_between_sibling_threads() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 1, quick_cfg(), |_, proc_| {
+        proc_.t_create("producer", 5, |ncs| {
+            ncs.send(ThreadAddr::new(0, 1), 7, Bytes::from_static(b"local"));
+        });
+        proc_.t_create("consumer", 5, |ncs| {
+            let m = ncs.recv(Some(0), Some(0), Some(7));
+            assert_eq!(&m.data[..], b"local");
+            assert_eq!(m.from, ThreadAddr::new(0, 0));
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn wildcard_and_tag_matching() {
+    let sim = Sim::new();
+    let net = fast_net(3, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 3, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| match id {
+            0 => {
+                // Two messages arrive; take tag 9 first regardless of order.
+                let m9 = ncs.recv(None, None, Some(9));
+                assert_eq!(m9.from.proc, 2);
+                let m8 = ncs.recv(None, None, None);
+                assert_eq!(m8.tag, 8);
+                assert_eq!(m8.from.proc, 1);
+            }
+            1 => ncs.send(ThreadAddr::new(0, 0), 8, Bytes::from_static(b"a")),
+            _ => ncs.send(ThreadAddr::new(0, 0), 9, Bytes::from_static(b"b")),
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn bcast_reaches_listed_threads() {
+    let sim = Sim::new();
+    let net = fast_net(4, Dur::from_micros(10));
+    let got = Arc::new(AtomicUsize::new(0));
+    let g = Arc::clone(&got);
+    NcsWorld::launch(&sim, vec![net], 4, quick_cfg(), move |id, proc_| {
+        let g = Arc::clone(&g);
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                let list: Vec<ThreadAddr> = (1..4).map(|p| ThreadAddr::new(p, 0)).collect();
+                ncs.bcast(&list, 3, Bytes::from_static(b"hello"));
+            } else {
+                let m = ncs.recv(Some(0), None, Some(3));
+                assert_eq!(&m.data[..], b"hello");
+                g.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    });
+    sim.run().assert_clean();
+    assert_eq!(got.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn signal_and_wait() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.ctx().sleep(Dur::from_millis(3));
+                ncs.signal(ThreadAddr::new(1, 0));
+            } else {
+                ncs.wait_signal(Some(ThreadAddr::new(0, 0)));
+                assert!(ncs.ctx().now() >= SimTime::ZERO + Dur::from_millis(3));
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn cross_process_barrier() {
+    let sim = Sim::new();
+    let net = fast_net(4, Dur::from_micros(10));
+    let after = Arc::new(Mutex::new(Vec::new()));
+    let a2 = Arc::clone(&after);
+    NcsWorld::launch(&sim, vec![net], 4, quick_cfg(), move |id, proc_| {
+        let after = Arc::clone(&a2);
+        proc_.t_create("w", 5, move |ncs| {
+            ncs.ctx().sleep(Dur::from_millis(id as u64)); // skewed arrivals
+            let parties: Vec<ThreadAddr> = (0..4).map(|p| ThreadAddr::new(p, 0)).collect();
+            ncs.barrier(&parties);
+            after.lock().push(ncs.ctx().now());
+        });
+    });
+    sim.run().assert_clean();
+    let after = after.lock();
+    assert_eq!(after.len(), 4);
+    let min = after.iter().min().unwrap();
+    // Nobody leaves before the slowest (3 ms) arrival.
+    assert!(*min >= SimTime::ZERO + Dur::from_millis(3));
+}
+
+#[test]
+fn block_unblock_paper_jpeg_pattern() {
+    // Figure 17: thread 1 reads the image, then NCS_unblock(tid2);
+    // thread 2 NCS_block()s until then.
+    let sim = Sim::new();
+    let net = fast_net(1, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 1, quick_cfg(), |_, proc_| {
+        proc_.t_create("t1", 5, |ncs| {
+            ncs.ctx().sleep(Dur::from_millis(2)); // read file
+            ncs.unblock(1);
+        });
+        proc_.t_create("t2", 5, |ncs| {
+            ncs.block();
+            assert!(ncs.ctx().now() >= SimTime::ZERO + Dur::from_millis(2));
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn credit_flow_control_paces_sender() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let cfg = NcsConfig {
+        flow: FlowControl::Credit { window: 4 },
+        ..quick_cfg()
+    };
+    let received = Arc::new(AtomicUsize::new(0));
+    let r2 = Arc::clone(&received);
+    NcsWorld::launch(&sim, vec![net], 2, cfg, move |id, proc_| {
+        let r = Arc::clone(&r2);
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..20u32 {
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(vec![0u8; 256]));
+                }
+            } else {
+                for i in 0..20u32 {
+                    let m = ncs.recv(Some(0), None, Some(i));
+                    assert_eq!(m.data.len(), 256);
+                    r.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+    });
+    let out = sim.run();
+    out.assert_clean();
+    assert_eq!(received.load(Ordering::SeqCst), 20);
+}
+
+#[test]
+fn error_control_recovers_from_corruption() {
+    let sim = Sim::new();
+    let base = fast_net(2, Dur::from_micros(10));
+    let faulty: Arc<FaultyNet> = Arc::new(FaultyNet::new(base, 0.3, 42));
+    let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
+    let cfg = NcsConfig {
+        error: ErrorControl::ChecksumRetransmit,
+        ..quick_cfg()
+    };
+    let world = NcsWorld::launch(&sim, vec![faulty_dyn], 2, cfg, |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..30u32 {
+                    let payload: Vec<u8> = (0..64).map(|k| (i as u8) ^ (k as u8)).collect();
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(payload));
+                }
+            } else {
+                for i in 0..30u32 {
+                    let m = ncs.recv(Some(0), None, Some(i));
+                    // Every delivered payload must be intact.
+                    for (k, &b) in m.data.iter().enumerate() {
+                        assert_eq!(b, (i as u8) ^ (k as u8), "msg {i} byte {k}");
+                    }
+                }
+            }
+        });
+    });
+    let out = sim.run();
+    out.assert_clean();
+    assert!(faulty.corrupted_count() > 0, "fault injection never fired");
+    assert!(
+        world.procs()[0].retransmits() >= faulty.corrupted_count(),
+        "every corruption must trigger a retransmit"
+    );
+}
+
+#[test]
+fn two_tier_nsm_hsm_selection() {
+    let sim = Sim::new();
+    let nsm = Testbed::SunAtmLanTcp.build(2);
+    let hsm = Testbed::SunAtmLanApi.build(2);
+    NcsWorld::launch(&sim, vec![hsm, nsm], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.send_via(0, ThreadAddr::new(1, 0), 1, Bytes::from(vec![1u8; 4096]));
+                ncs.send_via(1, ThreadAddr::new(1, 0), 2, Bytes::from(vec![2u8; 4096]));
+            } else {
+                let a = ncs.recv(None, None, Some(1));
+                let b = ncs.recv(None, None, Some(2));
+                assert_eq!(a.data[0], 1);
+                assert_eq!(b.data[0], 2);
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn group_gather_scatter_reduce_alltoall() {
+    let sim = Sim::new();
+    let net = fast_net(4, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 4, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            let parties: Vec<ThreadAddr> = (0..4).map(|p| ThreadAddr::new(p, 0)).collect();
+            // gather
+            let mine = Bytes::from(vec![id as u8; 3]);
+            let g = gather(ncs, &parties, mine);
+            if id == 0 {
+                let g = g.unwrap();
+                for (p, b) in g.iter().enumerate() {
+                    assert_eq!(&b[..], &[p as u8; 3]);
+                }
+            } else {
+                assert!(g.is_none());
+            }
+            // scatter
+            let parts = if id == 0 {
+                Some((0..4).map(|p| Bytes::from(vec![p as u8 + 10; 2])).collect())
+            } else {
+                None
+            };
+            let part = scatter(ncs, &parties, parts);
+            assert_eq!(&part[..], &[id as u8 + 10; 2]);
+            // reduce
+            let v = vec![id as f64, 1.0];
+            let r = reduce_f64(ncs, &parties, &v, ReduceOp::Sum);
+            if id == 0 {
+                assert_eq!(r.unwrap(), vec![6.0, 4.0]);
+            }
+            // all-to-all: party i sends value 10*i+j to party j
+            let parts: Vec<Bytes> = (0..4)
+                .map(|j| Bytes::from(vec![(10 * id + j) as u8]))
+                .collect();
+            let got = all_to_all(ncs, &parties, parts);
+            for (i, b) in got.iter().enumerate() {
+                assert_eq!(b[0], (10 * i + id) as u8);
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn p4_filter_ports_p4_style_code() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |_, proc_| {
+        proc_.t_create("main", 5, |ncs| {
+            let p4 = P4Filter::new(ncs);
+            if p4.my_id() == 0 {
+                p4.send(5, 1, Bytes::from_static(b"data"));
+                let (t, from, d) = p4.recv(None, None);
+                assert_eq!((t, from), (6, 1));
+                assert_eq!(&d[..], b"result");
+            } else {
+                let (t, from, d) = p4.recv(Some(5), Some(0));
+                assert_eq!((t, from), (5, 0));
+                assert_eq!(&d[..], b"data");
+                p4.send(6, 0, Bytes::from_static(b"result"));
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn pvm_and_mpi_filters() {
+    let sim = Sim::new();
+    let net = fast_net(3, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 3, quick_cfg(), |_, proc_| {
+        proc_.t_create("main", 5, |ncs| {
+            let mpi = MpiFilter::new(ncs);
+            // MPI_Bcast from rank 1.
+            let data = if mpi.rank() == 1 {
+                Some(Bytes::from_static(b"cast"))
+            } else {
+                None
+            };
+            let got = mpi.bcast(1, data);
+            assert_eq!(&got[..], b"cast");
+            mpi.barrier();
+            // PVM-style exchange ring: i -> (i+1) % 3.
+            let pvm = PvmFilter::new(ncs);
+            let me = pvm.mytid();
+            pvm.send((me + 1) % 3, 77, Bytes::from(vec![me as u8]));
+            let (from, tag, d) = pvm.recv(None, Some(77));
+            assert_eq!(tag, 77);
+            assert_eq!(from, (me + 2) % 3);
+            assert_eq!(d[0], ((me + 2) % 3) as u8);
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn message_counters_track_traffic() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let world = NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..5 {
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from_static(b"m"));
+                }
+            } else {
+                for i in 0..5 {
+                    ncs.recv(None, None, Some(i));
+                }
+            }
+        });
+    });
+    sim.run().assert_clean();
+    assert_eq!(world.procs()[0].msg_counts().0, 5);
+    assert_eq!(world.procs()[1].msg_counts().1, 5);
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let sim = Sim::new();
+        let net = fast_net(3, Dur::from_micros(15));
+        NcsWorld::launch(&sim, vec![net], 3, quick_cfg(), |id, proc_| {
+            proc_.t_create("a", 5, move |ncs| {
+                for i in 0..10u32 {
+                    let peer = (id + 1) % 3;
+                    ncs.send(
+                        ThreadAddr::new(peer, 0),
+                        i,
+                        Bytes::from(vec![id as u8; 100]),
+                    );
+                    let m = ncs.recv(None, None, Some(i));
+                    assert_eq!(m.data.len(), 100);
+                }
+            });
+        });
+        let out = sim.run();
+        out.assert_clean();
+        (out.end_time, sim.trace_hash())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn exception_service_delivers_to_handler() {
+    use std::sync::atomic::AtomicU32;
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let seen = Arc::new(AtomicU32::new(0));
+    let s2 = Arc::clone(&seen);
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), move |id, proc_| {
+        if id == 1 {
+            let s3 = Arc::clone(&s2);
+            proc_.on_exception(move |e| {
+                assert_eq!(e.from.proc, 0);
+                assert_eq!(&e.detail[..], b"disk full");
+                s3.store(e.code, Ordering::SeqCst);
+            });
+        }
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.raise(1, 507, Bytes::from_static(b"disk full"));
+                // Data traffic still flows alongside exceptions.
+                ncs.send(ThreadAddr::new(1, 0), 1, Bytes::from_static(b"x"));
+            } else {
+                ncs.recv(Some(0), None, Some(1));
+            }
+        });
+    });
+    sim.run().assert_clean();
+    assert_eq!(seen.load(Ordering::SeqCst), 507);
+}
+
+#[test]
+fn exceptions_buffer_until_handler_installed() {
+    let sim = Sim::new();
+    let net = fast_net(1, Dur::from_micros(10));
+    let world = NcsWorld::launch(&sim, vec![net], 1, quick_cfg(), |_, proc_| {
+        proc_.t_create("w", 5, |ncs| {
+            ncs.raise(0, 42, Bytes::from_static(b"self"));
+        });
+    });
+    sim.run().assert_clean();
+    let pending = world.procs()[0].pending_exceptions();
+    assert_eq!(pending.len(), 1);
+    assert_eq!(pending[0].code, 42);
+}
+
+#[test]
+fn probe_and_recv_timeout() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.ctx().sleep(Dur::from_millis(20));
+                ncs.send(ThreadAddr::new(1, 0), 9, Bytes::from_static(b"eventually"));
+            } else {
+                assert!(!ncs.probe(None, None, None), "nothing buffered yet");
+                // Times out before the 20 ms message.
+                let t0 = ncs.ctx().now();
+                let r = ncs.recv_timeout(Some(0), None, Some(9), Dur::from_millis(5));
+                assert!(r.is_none(), "must time out");
+                assert!(ncs.ctx().now().since(t0) >= Dur::from_millis(5));
+                // Succeeds with a generous timeout.
+                let r = ncs.recv_timeout(Some(0), None, Some(9), Dur::from_secs(1));
+                assert_eq!(&r.expect("delivered").data[..], b"eventually");
+                // And probe sees nothing afterwards.
+                assert!(!ncs.probe(None, None, None));
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn probe_true_when_message_waiting() {
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.send(ThreadAddr::new(1, 0), 3, Bytes::from_static(b"x"));
+            } else {
+                // Give the message time to land, then probe before recv.
+                ncs.mctx().sleep(Dur::from_millis(50));
+                assert!(ncs.probe(Some(0), None, Some(3)));
+                assert!(!ncs.probe(Some(0), None, Some(4)), "wrong tag");
+                let m = ncs.recv(Some(0), None, Some(3));
+                assert_eq!(&m.data[..], b"x");
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn flow_and_error_control_compose() {
+    // The two NCS_init services active together, over a corrupting
+    // transport: credit pacing bounds buffering while checksum/retransmit
+    // repairs the stream.
+    let sim = Sim::new();
+    let base = fast_net(2, Dur::from_micros(10));
+    let faulty: Arc<FaultyNet> = Arc::new(FaultyNet::new(base, 0.2, 0xC0));
+    let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
+    let cfg = NcsConfig {
+        flow: FlowControl::Credit { window: 4 },
+        error: ErrorControl::ChecksumRetransmit,
+        ..quick_cfg()
+    };
+    let world = NcsWorld::launch(&sim, vec![faulty_dyn], 2, cfg, |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..24u32 {
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(vec![i as u8; 512]));
+                }
+            } else {
+                for i in 0..24u32 {
+                    let m = ncs.recv(Some(0), None, Some(i));
+                    assert!(m.data.iter().all(|&b| b == i as u8), "msg {i} corrupt");
+                    ncs.compute(1_000_000, "drain");
+                }
+            }
+        });
+    });
+    sim.run().assert_clean();
+    assert!(faulty.corrupted_count() > 0);
+    assert!(world.procs()[0].retransmits() > 0);
+    assert!(
+        world.procs()[1].peak_buffered() <= 8,
+        "credit window must bound buffering even with retransmits: {}",
+        world.procs()[1].peak_buffered()
+    );
+}
+
+#[test]
+fn filters_work_over_the_hsm_tier() {
+    // Ported p4-style code running on the ATM API transport: the filter
+    // stack composes with the HSM tier.
+    let sim = Sim::new();
+    let net = Testbed::SunAtmLanApi.build(2);
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |_, proc_| {
+        proc_.t_create("main", 5, |ncs| {
+            let p4 = P4Filter::new(ncs);
+            if p4.my_id() == 0 {
+                p4.send(1, 1, Bytes::from(vec![9u8; 20_000]));
+                let (t, _, d) = p4.recv(Some(2), Some(1));
+                assert_eq!(t, 2);
+                assert_eq!(d.len(), 4);
+            } else {
+                let (_, _, d) = p4.recv(Some(1), Some(0));
+                assert_eq!(d.len(), 20_000);
+                p4.send(2, 0, Bytes::from_static(b"done"));
+            }
+        });
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn messages_respect_destination_thread() {
+    // A message addressed to thread 1 must never satisfy thread 0's recv.
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |id, proc_| {
+        if id == 0 {
+            proc_.t_create("sender", 5, |ncs| {
+                ncs.send(ThreadAddr::new(1, 1), 5, Bytes::from_static(b"for-t1"));
+                ncs.send(ThreadAddr::new(1, 0), 5, Bytes::from_static(b"for-t0"));
+            });
+        } else {
+            proc_.t_create("t0", 5, |ncs| {
+                let m = ncs.recv(None, None, Some(5));
+                assert_eq!(&m.data[..], b"for-t0", "t0 stole t1's message");
+            });
+            proc_.t_create("t1", 5, |ncs| {
+                let m = ncs.recv(None, None, Some(5));
+                assert_eq!(&m.data[..], b"for-t1");
+            });
+        }
+    });
+    sim.run().assert_clean();
+}
+
+#[test]
+fn communication_deadlock_is_reported_not_hung() {
+    // Two threads both waiting for messages nobody sends: the run drains,
+    // and the outcome names the blocked threads for diagnosis.
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    NcsWorld::launch(&sim, vec![net], 2, quick_cfg(), |_, proc_| {
+        proc_.t_create("waiter", 5, |ncs| {
+            let _ = ncs.recv_any(); // never satisfied
+        });
+    });
+    let out = sim.run();
+    assert!(out.panics.is_empty());
+    assert!(
+        out.blocked.iter().any(|n| n.contains("waiter")),
+        "blocked list should name the stuck threads: {:?}",
+        out.blocked
+    );
+    sim.finish();
+}
+
+#[test]
+fn error_control_recovers_from_message_loss() {
+    // Messages (including some ACKs) vanish outright; timeout-driven
+    // retransmission with duplicate suppression still delivers everything
+    // exactly once, in tag order.
+    let sim = Sim::new();
+    let base = fast_net(2, Dur::from_micros(10));
+    let faulty: Arc<FaultyNet> = Arc::new(FaultyNet::with_loss(base, 0.0, 0.25, 77));
+    let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
+    let cfg = NcsConfig {
+        error: ErrorControl::ChecksumRetransmit,
+        retx_timeout: Dur::from_millis(20),
+        ..quick_cfg()
+    };
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let r2 = Arc::clone(&received);
+    let world = NcsWorld::launch(&sim, vec![faulty_dyn], 2, cfg, move |id, proc_| {
+        let r = Arc::clone(&r2);
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..25u32 {
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(vec![i as u8; 128]));
+                }
+            } else {
+                for i in 0..25u32 {
+                    let m = ncs.recv(Some(0), None, Some(i));
+                    assert!(m.data.iter().all(|&b| b == i as u8));
+                    r.lock().push(i);
+                }
+            }
+        });
+    });
+    let out = sim.run();
+    out.assert_clean();
+    assert!(faulty.dropped_count() > 0, "loss injection never fired");
+    assert!(
+        world.procs()[0].retransmits() > 0,
+        "no retransmits happened"
+    );
+    assert_eq!(*received.lock(), (0..25).collect::<Vec<_>>());
+}
+
+#[test]
+fn error_control_gives_up_and_raises_exception() {
+    // Total blackout: every message dropped. The sender's error control
+    // exhausts its retries and raises EXC_DELIVERY_FAILED locally instead
+    // of hanging the process forever.
+    use ncs_core::EXC_DELIVERY_FAILED;
+    let sim = Sim::new();
+    let base = fast_net(2, Dur::from_micros(10));
+    let faulty: Arc<FaultyNet> = Arc::new(FaultyNet::with_loss(base, 0.0, 1.0, 5));
+    let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
+    let cfg = NcsConfig {
+        error: ErrorControl::ChecksumRetransmit,
+        retx_timeout: Dur::from_millis(10),
+        max_retries: 3,
+        ..quick_cfg()
+    };
+    let world = NcsWorld::launch(&sim, vec![faulty_dyn], 2, cfg, |id, proc_| {
+        if id == 0 {
+            proc_.t_create("sender", 5, |ncs| {
+                ncs.send(
+                    ThreadAddr::new(1, 0),
+                    1,
+                    Bytes::from_static(b"into the void"),
+                );
+            });
+        }
+        // Process 1 creates no threads: it shuts down immediately and never
+        // receives anything (the wire eats it all anyway).
+    });
+    let out = sim.run();
+    assert!(out.panics.is_empty(), "{:?}", out.panics);
+    let exceptions = world.procs()[0].pending_exceptions();
+    assert_eq!(exceptions.len(), 1, "expected one delivery failure");
+    assert_eq!(exceptions[0].code, EXC_DELIVERY_FAILED);
+    sim.finish();
+}
+
+#[test]
+fn tree_bcast_reaches_everyone() {
+    use ncs_core::group::tree_bcast;
+    for n in [2usize, 3, 5, 8] {
+        let sim = Sim::new();
+        let net = fast_net(n, Dur::from_micros(10));
+        let got = Arc::new(AtomicUsize::new(0));
+        let g2 = Arc::clone(&got);
+        NcsWorld::launch(&sim, vec![net], n, quick_cfg(), move |id, proc_| {
+            let g = Arc::clone(&g2);
+            proc_.t_create("w", 5, move |ncs| {
+                let parties: Vec<ThreadAddr> = (0..ncs.proc().num_procs())
+                    .map(|p| ThreadAddr::new(p, 0))
+                    .collect();
+                let data = if id == 0 {
+                    Some(Bytes::from_static(b"fanned out"))
+                } else {
+                    None
+                };
+                let out = tree_bcast(ncs, &parties, data);
+                assert_eq!(&out[..], b"fanned out");
+                g.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        sim.run().assert_clean();
+        assert_eq!(got.load(Ordering::SeqCst), n, "n={n}");
+    }
+}
+
+#[test]
+fn tree_bcast_beats_flat_bcast_at_scale() {
+    use ncs_core::group::tree_bcast;
+    // 8 parties on the calibrated NYNET stack: O(log n) rounds must finish
+    // well before the root's 7 serialized sends.
+    let run = |tree: bool| {
+        let sim = Sim::new();
+        let net = Testbed::NynetTcp.build(8);
+        NcsWorld::launch(
+            &sim,
+            vec![net],
+            8,
+            NcsConfig::default(),
+            move |id, proc_| {
+                proc_.t_create("w", 5, move |ncs| {
+                    let parties: Vec<ThreadAddr> = (0..8).map(|p| ThreadAddr::new(p, 0)).collect();
+                    let payload = Bytes::from(vec![7u8; 32 * 1024]);
+                    if tree {
+                        let data = (id == 0).then(|| payload.clone());
+                        tree_bcast(ncs, &parties, data);
+                    } else if id == 0 {
+                        ncs.bcast(&parties[1..], 1, payload);
+                    } else {
+                        ncs.recv(Some(0), None, Some(1));
+                    }
+                });
+            },
+        );
+        let out = sim.run();
+        out.assert_clean();
+        out.end_time
+    };
+    let flat = run(false);
+    let tree = run(true);
+    assert!(
+        tree < flat,
+        "tree bcast {tree} should beat flat bcast {flat}"
+    );
+}

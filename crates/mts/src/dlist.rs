@@ -1,0 +1,295 @@
+//! Intrusive doubly-linked thread queues (the paper's Figure 9).
+//!
+//! NCS_MTS keeps its runnable threads in a multilevel priority queue —
+//! one circular doubly-linked list per priority — and its blocked threads
+//! in a doubly-linked *blocked queue* "to speed up search during
+//! unblocking". We reproduce the structure: every thread owns one pair of
+//! `prev`/`next` links in a shared [`LinkArena`], and each queue is a
+//! [`ListHead`] threading through them. All operations are O(1), including
+//! removing a thread from the middle of the blocked queue.
+//!
+//! A thread can be on at most one list at a time (its scheduling states are
+//! mutually exclusive), which is what makes the intrusive sharing sound;
+//! the arena enforces it with debug assertions.
+
+/// Index of a thread's link node (the MTS thread id).
+pub type Slot = u32;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Links {
+    prev: Option<Slot>,
+    next: Option<Slot>,
+    on_list: bool,
+}
+
+/// Shared storage of per-thread links.
+#[derive(Default, Debug)]
+pub struct LinkArena {
+    links: Vec<Links>,
+}
+
+impl LinkArena {
+    /// Creates an empty arena.
+    pub fn new() -> LinkArena {
+        LinkArena::default()
+    }
+
+    /// Registers one more thread; returns its slot.
+    pub fn add_slot(&mut self) -> Slot {
+        self.links.push(Links::default());
+        (self.links.len() - 1) as Slot
+    }
+
+    /// Number of registered slots.
+    pub fn slots(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether `s` is currently on some list.
+    pub fn on_list(&self, s: Slot) -> bool {
+        self.links[s as usize].on_list
+    }
+}
+
+/// Head/tail of one doubly-linked queue.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ListHead {
+    head: Option<Slot>,
+    tail: Option<Slot>,
+    len: usize,
+}
+
+impl ListHead {
+    /// An empty list.
+    pub fn new() -> ListHead {
+        ListHead::default()
+    }
+
+    /// Number of queued slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The front slot, if any.
+    pub fn front(&self) -> Option<Slot> {
+        self.head
+    }
+
+    /// Appends `s` at the tail. Panics (debug) if `s` is already queued.
+    pub fn push_back(&mut self, arena: &mut LinkArena, s: Slot) {
+        let l = &mut arena.links[s as usize];
+        debug_assert!(!l.on_list, "slot {s} already on a list");
+        l.on_list = true;
+        l.prev = self.tail;
+        l.next = None;
+        match self.tail {
+            Some(t) => arena.links[t as usize].next = Some(s),
+            None => self.head = Some(s),
+        }
+        self.tail = Some(s);
+        self.len += 1;
+    }
+
+    /// Removes and returns the front slot.
+    pub fn pop_front(&mut self, arena: &mut LinkArena) -> Option<Slot> {
+        let s = self.head?;
+        self.unlink(arena, s);
+        Some(s)
+    }
+
+    /// Removes `s` from anywhere in the list (the blocked-queue unblock
+    /// path). Panics (debug) if `s` is not queued.
+    pub fn unlink(&mut self, arena: &mut LinkArena, s: Slot) {
+        let (prev, next) = {
+            let l = &mut arena.links[s as usize];
+            debug_assert!(l.on_list, "slot {s} not on this list");
+            l.on_list = false;
+            let pn = (l.prev, l.next);
+            l.prev = None;
+            l.next = None;
+            pn
+        };
+        match prev {
+            Some(p) => arena.links[p as usize].next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => arena.links[n as usize].prev = prev,
+            None => self.tail = prev,
+        }
+        self.len -= 1;
+    }
+
+    /// Iterates front-to-back (diagnostics and tests).
+    pub fn iter<'a>(&self, arena: &'a LinkArena) -> ListIter<'a> {
+        ListIter {
+            arena,
+            cur: self.head,
+        }
+    }
+}
+
+/// Iterator over a list's slots.
+pub struct ListIter<'a> {
+    arena: &'a LinkArena,
+    cur: Option<Slot>,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = Slot;
+
+    fn next(&mut self) -> Option<Slot> {
+        let s = self.cur?;
+        self.cur = self.arena.links[s as usize].next;
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(l: &ListHead, a: &LinkArena) -> Vec<Slot> {
+        l.iter(a).collect()
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut a = LinkArena::new();
+        let s: Vec<Slot> = (0..5).map(|_| a.add_slot()).collect();
+        let mut l = ListHead::new();
+        for &x in &s {
+            l.push_back(&mut a, x);
+        }
+        assert_eq!(collect(&l, &a), s);
+        for &x in &s {
+            assert_eq!(l.pop_front(&mut a), Some(x));
+        }
+        assert!(l.is_empty());
+        assert_eq!(l.pop_front(&mut a), None);
+    }
+
+    #[test]
+    fn unlink_middle() {
+        let mut a = LinkArena::new();
+        let s: Vec<Slot> = (0..5).map(|_| a.add_slot()).collect();
+        let mut l = ListHead::new();
+        for &x in &s {
+            l.push_back(&mut a, x);
+        }
+        l.unlink(&mut a, s[2]);
+        assert_eq!(collect(&l, &a), vec![s[0], s[1], s[3], s[4]]);
+        l.unlink(&mut a, s[0]);
+        l.unlink(&mut a, s[4]);
+        assert_eq!(collect(&l, &a), vec![s[1], s[3]]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn slot_reusable_across_lists() {
+        let mut a = LinkArena::new();
+        let s = a.add_slot();
+        let mut run = ListHead::new();
+        let mut blocked = ListHead::new();
+        run.push_back(&mut a, s);
+        assert!(a.on_list(s));
+        run.unlink(&mut a, s);
+        assert!(!a.on_list(s));
+        blocked.push_back(&mut a, s);
+        assert_eq!(collect(&blocked, &a), vec![s]);
+        assert!(run.is_empty());
+    }
+
+    #[test]
+    fn round_robin_rotation() {
+        // pop front, push back: the paper's within-priority round robin.
+        let mut a = LinkArena::new();
+        let s: Vec<Slot> = (0..3).map(|_| a.add_slot()).collect();
+        let mut l = ListHead::new();
+        for &x in &s {
+            l.push_back(&mut a, x);
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let x = l.pop_front(&mut a).unwrap();
+            order.push(x);
+            l.push_back(&mut a, x);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "already on a list")]
+    fn double_insert_caught() {
+        let mut a = LinkArena::new();
+        let s = a.add_slot();
+        let mut l = ListHead::new();
+        l.push_back(&mut a, s);
+        l.push_back(&mut a, s);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        PushBack(u8),
+        PopFront,
+        Unlink(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..16).prop_map(Op::PushBack),
+            Just(Op::PopFront),
+            (0u8..16).prop_map(Op::Unlink),
+        ]
+    }
+
+    proptest! {
+        /// The intrusive list behaves exactly like a VecDeque model under
+        /// arbitrary push/pop/unlink sequences.
+        #[test]
+        fn matches_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+            let mut arena = LinkArena::new();
+            for _ in 0..16 { arena.add_slot(); }
+            let mut list = ListHead::new();
+            let mut model: VecDeque<Slot> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Op::PushBack(s) => {
+                        let s = Slot::from(s);
+                        if !model.contains(&s) {
+                            list.push_back(&mut arena, s);
+                            model.push_back(s);
+                        }
+                    }
+                    Op::PopFront => {
+                        prop_assert_eq!(list.pop_front(&mut arena), model.pop_front());
+                    }
+                    Op::Unlink(s) => {
+                        let s = Slot::from(s);
+                        if let Some(pos) = model.iter().position(|&x| x == s) {
+                            list.unlink(&mut arena, s);
+                            model.remove(pos);
+                        }
+                    }
+                }
+                prop_assert_eq!(list.len(), model.len());
+                let got: Vec<Slot> = list.iter(&arena).collect();
+                let want: Vec<Slot> = model.iter().copied().collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

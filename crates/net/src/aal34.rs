@@ -1,0 +1,217 @@
+//! AAL3/4 — the older adaptation layer, kept for the overhead comparison.
+//!
+//! AAL3/4 (ITU-T I.363.3) spends 4 of every 48 payload bytes on per-cell
+//! framing, leaving 44 for data:
+//!
+//! ```text
+//! | ST(2b) SN(4b) MID(10b) | 44B payload | LI(6b) CRC-10(10b) |
+//! ```
+//!
+//! `ST` is the segment type (BOM / COM / EOM / SSM), `SN` a 4-bit sequence
+//! number, `MID` a multiplexing id allowing several PDUs to interleave on one
+//! circuit — the capability AAL5 dropped in exchange for 9% more payload.
+//! The paper's Figure 11/12 stacks show both AALs under the ATM layer; the
+//! bench suite uses this module to quantify why NCS defaults to AAL5.
+
+use crate::cell::{AtmCell, CellHeader, CELL_PAYLOAD};
+use crate::crc::crc10;
+
+/// Data bytes per AAL3/4 cell.
+pub const SAR_PAYLOAD: usize = 44;
+
+/// Segment type codes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegmentType {
+    /// Beginning of message.
+    Bom,
+    /// Continuation of message.
+    Com,
+    /// End of message.
+    Eom,
+    /// Single-segment message.
+    Ssm,
+}
+
+impl SegmentType {
+    fn code(self) -> u8 {
+        match self {
+            SegmentType::Bom => 0b10,
+            SegmentType::Com => 0b00,
+            SegmentType::Eom => 0b01,
+            SegmentType::Ssm => 0b11,
+        }
+    }
+
+    fn from_code(c: u8) -> SegmentType {
+        match c & 0b11 {
+            0b10 => SegmentType::Bom,
+            0b00 => SegmentType::Com,
+            0b01 => SegmentType::Eom,
+            _ => SegmentType::Ssm,
+        }
+    }
+}
+
+/// Number of cells AAL3/4 needs for `bytes` of payload.
+pub fn cells_for_pdu(bytes: usize) -> usize {
+    bytes.div_ceil(SAR_PAYLOAD).max(1)
+}
+
+/// Segments `payload` into AAL3/4 cells for multiplexing id `mid`.
+pub fn segment(payload: &[u8], vpi: u8, vci: u16, mid: u16) -> Vec<AtmCell> {
+    assert!(mid < 1024, "MID is 10 bits");
+    let n = cells_for_pdu(payload.len());
+    let mut cells = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i * SAR_PAYLOAD;
+        let hi = (lo + SAR_PAYLOAD).min(payload.len());
+        let chunk = &payload[lo..hi];
+        let st = match (i == 0, i == n - 1) {
+            (true, true) => SegmentType::Ssm,
+            (true, false) => SegmentType::Bom,
+            (false, false) => SegmentType::Com,
+            (false, true) => SegmentType::Eom,
+        };
+        let sn = (i % 16) as u8;
+        let mut body = [0u8; CELL_PAYLOAD];
+        // SAR header: ST(2) SN(4) MID(10)
+        body[0] = (st.code() << 6) | (sn << 2) | ((mid >> 8) as u8 & 0b11);
+        body[1] = mid as u8;
+        body[2..2 + chunk.len()].copy_from_slice(chunk);
+        // SAR trailer: LI(6) CRC10(10) — CRC covers header+payload.
+        let li = chunk.len() as u8;
+        let crc = crc10(&body[..46]);
+        body[46] = (li << 2) | ((crc >> 8) as u8 & 0b11);
+        body[47] = crc as u8;
+        cells.push(AtmCell::new(CellHeader::data(vpi, vci), body));
+    }
+    cells
+}
+
+/// Reassembly failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Aal34Error {
+    /// No cells supplied.
+    Empty,
+    /// Per-cell CRC-10 mismatch.
+    BadCrc,
+    /// Sequence number gap.
+    BadSequence,
+    /// Segment-type state machine violation (e.g. COM before BOM).
+    Framing,
+    /// Cells from multiple MIDs passed to single-PDU reassembly.
+    MixedMid,
+}
+
+impl std::fmt::Display for Aal34Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Aal34Error::Empty => "no cells",
+            Aal34Error::BadCrc => "SAR-PDU CRC-10 mismatch",
+            Aal34Error::BadSequence => "sequence number gap",
+            Aal34Error::Framing => "segment-type violation",
+            Aal34Error::MixedMid => "multiple MIDs",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for Aal34Error {}
+
+/// Reassembles one PDU from its AAL3/4 cells.
+pub fn reassemble(cells: &[AtmCell]) -> Result<Vec<u8>, Aal34Error> {
+    if cells.is_empty() {
+        return Err(Aal34Error::Empty);
+    }
+    let mut out = Vec::with_capacity(cells.len() * SAR_PAYLOAD);
+    let mut mid0 = None;
+    for (i, cell) in cells.iter().enumerate() {
+        let body = &cell.payload;
+        let crc_given = (u16::from(body[46] & 0b11) << 8) | u16::from(body[47]);
+        if crc10(&body[..46]) != crc_given {
+            return Err(Aal34Error::BadCrc);
+        }
+        let st = SegmentType::from_code(body[0] >> 6);
+        let sn = (body[0] >> 2) & 0x0F;
+        let mid = (u16::from(body[0] & 0b11) << 8) | u16::from(body[1]);
+        let li = (body[46] >> 2) as usize;
+        if *mid0.get_or_insert(mid) != mid {
+            return Err(Aal34Error::MixedMid);
+        }
+        if sn != (i % 16) as u8 {
+            return Err(Aal34Error::BadSequence);
+        }
+        let expect = match (i == 0, i == cells.len() - 1) {
+            (true, true) => SegmentType::Ssm,
+            (true, false) => SegmentType::Bom,
+            (false, false) => SegmentType::Com,
+            (false, true) => SegmentType::Eom,
+        };
+        if st != expect {
+            return Err(Aal34Error::Framing);
+        }
+        out.extend_from_slice(&body[2..2 + li]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 13 + 1) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for n in [0, 1, 43, 44, 45, 88, 89, 1000, 4000] {
+            let p = payload(n);
+            let cells = segment(&p, 3, 42, 7);
+            assert_eq!(cells.len(), cells_for_pdu(n));
+            assert_eq!(reassemble(&cells).unwrap(), p, "payload {n}");
+        }
+    }
+
+    #[test]
+    fn overhead_worse_than_aal5() {
+        // For a 4 KB transfer AAL3/4 needs strictly more cells than AAL5.
+        let n34 = cells_for_pdu(4096);
+        let n5 = crate::aal5::cells_for_pdu(4096);
+        assert!(n34 > n5, "AAL3/4 {n34} vs AAL5 {n5}");
+        assert_eq!(n34, 94); // ceil(4096/44)
+        assert_eq!(n5, 86); // ceil(4104/48)
+    }
+
+    #[test]
+    fn single_cell_is_ssm() {
+        let cells = segment(&payload(10), 0, 1, 0);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            SegmentType::from_code(cells[0].payload[0] >> 6),
+            SegmentType::Ssm
+        );
+    }
+
+    #[test]
+    fn corruption_detected_per_cell() {
+        let mut cells = segment(&payload(300), 0, 1, 1);
+        cells[2].payload[10] ^= 0x80;
+        assert_eq!(reassemble(&cells), Err(Aal34Error::BadCrc));
+    }
+
+    #[test]
+    fn dropped_cell_detected_by_sequence() {
+        let mut cells = segment(&payload(300), 0, 1, 1);
+        cells.remove(1);
+        assert_eq!(reassemble(&cells), Err(Aal34Error::BadSequence));
+    }
+
+    #[test]
+    fn mixed_mid_detected() {
+        let a = segment(&payload(100), 0, 1, 1);
+        let b = segment(&payload(100), 0, 1, 2);
+        let mixed: Vec<_> = vec![a[0].clone(), b[1].clone(), a[2].clone()];
+        assert_eq!(reassemble(&mixed), Err(Aal34Error::MixedMid));
+    }
+}

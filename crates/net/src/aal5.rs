@@ -1,0 +1,188 @@
+//! AAL5 — the ATM adaptation layer NCS's High Speed Mode rides on.
+//!
+//! AAL5 (ITU-T I.363.5) frames a variable-length CS-PDU as:
+//!
+//! ```text
+//! | user payload | 0-pad | 8-byte trailer: UU CPI LEN(2) CRC32(4) |
+//! ```
+//!
+//! padded so the total is a multiple of 48, then slices it into cells; the
+//! final cell is marked via the AUU bit of the PT field. There is no per-cell
+//! overhead, which is why AAL5 (rather than AAL3/4) became the data AAL —
+//! the `ncs-bench` overhead comparison quantifies exactly that.
+
+use crate::cell::{AtmCell, CellHeader, CELL_PAYLOAD};
+use crate::crc::crc32_aal5;
+
+/// Trailer length in bytes.
+pub const TRAILER_BYTES: usize = 8;
+
+/// Maximum CS-PDU payload (16-bit length field).
+pub const MAX_PDU: usize = 65_535;
+
+/// Segments `payload` into AAL5 cells on circuit (`vpi`, `vci`).
+///
+/// Panics if `payload` exceeds [`MAX_PDU`] (callers chunk larger transfers;
+/// the NCS buffer layer never hands AAL5 more than one I/O buffer at once).
+pub fn segment(payload: &[u8], vpi: u8, vci: u16) -> Vec<AtmCell> {
+    assert!(payload.len() <= MAX_PDU, "AAL5 PDU too large");
+    let total = (payload.len() + TRAILER_BYTES).div_ceil(CELL_PAYLOAD) * CELL_PAYLOAD;
+    let mut pdu = Vec::with_capacity(total);
+    pdu.extend_from_slice(payload);
+    pdu.resize(total - TRAILER_BYTES, 0);
+    pdu.push(0); // CPCS-UU
+    pdu.push(0); // CPI
+    pdu.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    let crc = crc32_aal5(&pdu);
+    pdu.extend_from_slice(&crc.to_be_bytes());
+    debug_assert_eq!(pdu.len() % CELL_PAYLOAD, 0);
+
+    let n_cells = pdu.len() / CELL_PAYLOAD;
+    let mut cells = Vec::with_capacity(n_cells);
+    for (i, chunk) in pdu.chunks_exact(CELL_PAYLOAD).enumerate() {
+        let mut body = [0u8; CELL_PAYLOAD];
+        body.copy_from_slice(chunk);
+        let header = CellHeader::data(vpi, vci).with_end_of_pdu(i == n_cells - 1);
+        cells.push(AtmCell::new(header, body));
+    }
+    cells
+}
+
+/// Number of cells AAL5 needs for a payload of `bytes` (used by the timing
+/// models without materializing cells).
+pub fn cells_for_pdu(bytes: usize) -> usize {
+    (bytes + TRAILER_BYTES).div_ceil(CELL_PAYLOAD)
+}
+
+/// Reassembly failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Aal5Error {
+    /// No cells supplied.
+    Empty,
+    /// Final cell lacks the end-of-PDU mark, or a mark appears early.
+    Framing,
+    /// Cells from more than one circuit were interleaved.
+    MixedCircuit,
+    /// CRC-32 mismatch over the reassembled CS-PDU.
+    BadCrc,
+    /// Length field inconsistent with the cell count.
+    BadLength,
+}
+
+impl std::fmt::Display for Aal5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Aal5Error::Empty => "no cells",
+            Aal5Error::Framing => "end-of-PDU framing violation",
+            Aal5Error::MixedCircuit => "cells from multiple circuits",
+            Aal5Error::BadCrc => "CS-PDU CRC-32 mismatch",
+            Aal5Error::BadLength => "length field inconsistent",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for Aal5Error {}
+
+/// Reassembles one CS-PDU from its cells, verifying framing, circuit
+/// consistency, CRC and length.
+pub fn reassemble(cells: &[AtmCell]) -> Result<Vec<u8>, Aal5Error> {
+    if cells.is_empty() {
+        return Err(Aal5Error::Empty);
+    }
+    let circuit = (cells[0].header.vpi, cells[0].header.vci);
+    for (i, c) in cells.iter().enumerate() {
+        if (c.header.vpi, c.header.vci) != circuit {
+            return Err(Aal5Error::MixedCircuit);
+        }
+        let last = i == cells.len() - 1;
+        if c.header.end_of_pdu() != last {
+            return Err(Aal5Error::Framing);
+        }
+    }
+    let mut pdu = Vec::with_capacity(cells.len() * CELL_PAYLOAD);
+    for c in cells {
+        pdu.extend_from_slice(&c.payload);
+    }
+    let crc_given = u32::from_be_bytes(pdu[pdu.len() - 4..].try_into().unwrap());
+    let crc_calc = crc32_aal5(&pdu[..pdu.len() - 4]);
+    if crc_given != crc_calc {
+        return Err(Aal5Error::BadCrc);
+    }
+    let len = u16::from_be_bytes(pdu[pdu.len() - 6..pdu.len() - 4].try_into().unwrap()) as usize;
+    if len + TRAILER_BYTES > pdu.len() || pdu.len() - (len + TRAILER_BYTES) >= CELL_PAYLOAD {
+        return Err(Aal5Error::BadLength);
+    }
+    pdu.truncate(len);
+    Ok(pdu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for n in [0, 1, 39, 40, 41, 47, 48, 88, 89, 96, 1000, 65_535] {
+            let p = payload(n);
+            let cells = segment(&p, 2, 99);
+            assert_eq!(cells.len(), cells_for_pdu(n), "cell count for {n}");
+            let back = reassemble(&cells).expect("reassemble");
+            assert_eq!(back, p, "payload {n}");
+        }
+    }
+
+    #[test]
+    fn only_last_cell_marked() {
+        let cells = segment(&payload(200), 1, 5);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.header.end_of_pdu(), i == cells.len() - 1);
+        }
+    }
+
+    #[test]
+    fn forty_bytes_fit_one_cell() {
+        // 40 + 8 trailer = 48: exactly one cell; 41 needs two.
+        assert_eq!(segment(&payload(40), 0, 1).len(), 1);
+        assert_eq!(segment(&payload(41), 0, 1).len(), 2);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let mut cells = segment(&payload(500), 0, 1);
+        cells[3].payload[10] ^= 0x01;
+        assert_eq!(reassemble(&cells), Err(Aal5Error::BadCrc));
+    }
+
+    #[test]
+    fn missing_last_cell_detected() {
+        let mut cells = segment(&payload(500), 0, 1);
+        cells.pop();
+        assert_eq!(reassemble(&cells), Err(Aal5Error::Framing));
+    }
+
+    #[test]
+    fn dropped_middle_cell_detected() {
+        let mut cells = segment(&payload(500), 0, 1);
+        cells.remove(2);
+        // Framing still looks fine (only last cell marked) but CRC catches it.
+        assert_eq!(reassemble(&cells), Err(Aal5Error::BadCrc));
+    }
+
+    #[test]
+    fn interleaved_circuits_detected() {
+        let a = segment(&payload(100), 0, 1);
+        let b = segment(&payload(100), 0, 2);
+        let mixed: Vec<_> = a[..1].iter().chain(b[1..].iter()).cloned().collect();
+        assert_eq!(reassemble(&mixed), Err(Aal5Error::MixedCircuit));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(reassemble(&[]), Err(Aal5Error::Empty));
+    }
+}

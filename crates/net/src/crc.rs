@@ -1,0 +1,135 @@
+//! CRC algorithms used by the ATM protocol stack.
+//!
+//! * **CRC-8 HEC** — ITU-T I.432 header error control: polynomial
+//!   `x^8 + x^2 + x + 1` (0x07), with the 0x55 coset added to the remainder.
+//! * **CRC-10** — AAL3/4 per-cell payload check: polynomial
+//!   `x^10 + x^9 + x^5 + x^4 + x + 1` (0x233 in 10-bit notation).
+//! * **CRC-32** — AAL5 CS-PDU trailer check: the IEEE 802.3 polynomial in
+//!   MSB-first (non-reflected) form with init/xorout all-ones, i.e. the
+//!   "CRC-32/BZIP2" parameterization, which is what I.363.5 specifies.
+//!
+//! All three are implemented bit-serially from the defining polynomial (no
+//! tables): they run at simulation-setup rates only, and the transparent
+//! form is easy to check against published vectors.
+
+/// Computes the ATM Header Error Control byte over the first four header
+/// bytes (ITU-T I.432: CRC-8 remainder plus the 0x55 coset).
+pub fn hec(header4: &[u8; 4]) -> u8 {
+    let mut crc: u8 = 0;
+    for &byte in header4 {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc ^ 0x55
+}
+
+/// Verifies a 5-byte cell header's HEC field.
+pub fn hec_ok(header5: &[u8; 5]) -> bool {
+    hec(&[header5[0], header5[1], header5[2], header5[3]]) == header5[4]
+}
+
+/// CRC-10 over `data` (AAL3/4 SAR-PDU check), MSB-first, init 0, no final
+/// XOR.
+pub fn crc10(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        crc ^= u16::from(byte) << 2; // align byte to the top of 10 bits
+        for _ in 0..8 {
+            crc = if crc & 0x200 != 0 {
+                ((crc << 1) ^ 0x233) & 0x3FF
+            } else {
+                (crc << 1) & 0x3FF
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-32 as used by AAL5 (MSB-first, poly 0x04C11DB7, init 0xFFFF_FFFF,
+/// final complement).
+pub fn crc32_aal5(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= u32::from(byte) << 24;
+        for _ in 0..8 {
+            crc = if crc & 0x8000_0000 != 0 {
+                (crc << 1) ^ 0x04C1_1DB7
+            } else {
+                crc << 1
+            };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHECK: &[u8] = b"123456789";
+
+    #[test]
+    fn hec_of_zero_header_is_coset() {
+        // CRC-8 of all-zero input is 0; the transmitted HEC is the 0x55 coset.
+        assert_eq!(hec(&[0, 0, 0, 0]), 0x55);
+    }
+
+    #[test]
+    fn hec_roundtrip_and_detection() {
+        let hdr4 = [0x12, 0x34, 0x56, 0x78];
+        let h = hec(&hdr4);
+        let full = [hdr4[0], hdr4[1], hdr4[2], hdr4[3], h];
+        assert!(hec_ok(&full));
+        // Any single-bit flip in the protected bytes must be detected
+        // (CRC-8 detects all single-bit errors).
+        for byte in 0..4 {
+            for bit in 0..8 {
+                let mut bad = full;
+                bad[byte] ^= 1 << bit;
+                assert!(!hec_ok(&bad), "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc10_check_vector() {
+        // CRC-10/ATM catalogue value for "123456789".
+        assert_eq!(crc10(CHECK), 0x199);
+    }
+
+    #[test]
+    fn crc10_detects_single_bit_errors() {
+        let mut data = *b"hello atm world, 44 byte sar payload....xyz";
+        let good = crc10(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x10;
+            assert_ne!(crc10(&data), good, "flip at byte {i} undetected");
+            data[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn crc32_check_vector() {
+        // CRC-32/BZIP2 catalogue value for "123456789".
+        assert_eq!(crc32_aal5(CHECK), 0xFC89_1918);
+    }
+
+    #[test]
+    fn crc32_empty_input() {
+        // init ^ final-complement with no data: !0xFFFFFFFF = 0.
+        assert_eq!(crc32_aal5(&[]), 0);
+    }
+
+    #[test]
+    fn crc32_detects_swaps() {
+        let a = crc32_aal5(b"abcd");
+        let b = crc32_aal5(b"abdc");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ncs-net — network models for the NCS reproduction
+//!
+//! Everything between a process's buffer and the far host's buffer:
+//!
+//! * **ATM data plane**: [`cell`] (53-byte cells with HEC), [`aal5`] and
+//!   [`aal34`] adaptation layers, [`crc`] algorithms;
+//! * **fabrics**: [`ethernet`] (shared 10 Mb/s segment), [`atm`] (FORE-style
+//!   single-switch LAN and the NYNET WAN testbed), over FIFO-queued
+//!   [`link`]s with payload-effective SONET/DS-3/TAXI rates;
+//! * **host cost models**: [`host`] — CPU clocks, syscall/trap/interrupt
+//!   costs, and the Figure-3 datapath (5 memory accesses per word on the
+//!   socket path vs 3 on NCS's mapped-buffer path);
+//! * **transport stacks**: [`stack`] — the socket/TCP/IP path ([`TcpNet`])
+//!   and the NCS ATM API path ([`AtmApiNet`]) with Figure-2's multiple-I/O-
+//!   buffer pipeline, both behind the [`Network`] trait;
+//! * **testbeds**: [`topology::Testbed`] presets mirroring the paper's
+//!   experimental environment.
+
+#![warn(missing_docs)]
+
+pub mod aal34;
+pub mod aal5;
+pub mod api;
+pub mod atm;
+pub mod cell;
+pub mod crc;
+pub mod ethernet;
+pub mod fabric;
+pub mod host;
+pub mod link;
+pub mod stack;
+pub mod topology;
+
+pub use api::{AtmApi, TrafficClass, Vc, VcTable};
+pub use fabric::{Fabric, IdealFabric, NodeId, TransferTiming};
+pub use host::{DatapathKind, HostParams};
+pub use link::{LinkSpec, LinkState};
+pub use stack::{
+    AtmApiNet, AtmApiParams, BlockingWait, Delivery, Network, TcpNet, TcpParams, WaitPolicy,
+};
+pub use topology::Testbed;

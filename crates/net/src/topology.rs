@@ -1,0 +1,204 @@
+//! Ready-made testbeds matching the paper's experimental environment
+//! (Section 2): SUN/Ethernet, SUN/ATM LAN, and the NYNET WAN, each with the
+//! appropriate host models and transport stack.
+
+use std::sync::Arc;
+
+use crate::atm::{AtmLanFabric, AtmLanParams, NynetFabric, NynetParams};
+use crate::ethernet::{EthernetFabric, EthernetParams};
+use crate::host::HostParams;
+use crate::stack::{AtmApiNet, AtmApiParams, Network, TcpNet, TcpParams};
+
+/// The three hardware configurations of the paper plus the two HSM
+/// variants enabled by NCS's second MPS implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Testbed {
+    /// SPARCstation ELCs on shared 10 Mb/s Ethernet, TCP/IP (baseline LAN).
+    SunEthernet,
+    /// SPARCstation IPXs on a FORE ATM LAN, TCP/IP over ATM (NSM).
+    SunAtmLanTcp,
+    /// SPARCstation IPXs across the NYNET WAN testbed, TCP/IP over ATM.
+    NynetTcp,
+    /// SPARCstation IPXs on the FORE ATM LAN via the NCS ATM API (HSM).
+    SunAtmLanApi,
+    /// SPARCstation IPXs across NYNET via the NCS ATM API (HSM).
+    NynetApi,
+}
+
+impl Testbed {
+    /// Short identifier used in experiment tables.
+    pub fn id(self) -> &'static str {
+        match self {
+            Testbed::SunEthernet => "ethernet",
+            Testbed::SunAtmLanTcp => "atm-lan-tcp",
+            Testbed::NynetTcp => "nynet-tcp",
+            Testbed::SunAtmLanApi => "atm-lan-api",
+            Testbed::NynetApi => "nynet-api",
+        }
+    }
+
+    /// Builds the testbed's network stack for `nodes` hosts.
+    pub fn build(self, nodes: usize) -> Arc<dyn Network> {
+        match self {
+            Testbed::SunEthernet => {
+                let fabric = Arc::new(EthernetFabric::new(EthernetParams::new(nodes)));
+                let hosts = vec![HostParams::sparc_elc(); nodes];
+                Arc::new(TcpNet::new(fabric, hosts, TcpParams::ethernet()))
+            }
+            Testbed::SunAtmLanTcp => {
+                let fabric = Arc::new(AtmLanFabric::new(AtmLanParams::fore_lan(nodes)));
+                let hosts = vec![HostParams::sparc_ipx(); nodes];
+                Arc::new(TcpNet::new(fabric, hosts, TcpParams::ip_over_atm()))
+            }
+            Testbed::NynetTcp => {
+                let fabric = Arc::new(NynetFabric::new(NynetParams::nynet(nodes)));
+                let hosts = vec![HostParams::sparc_ipx(); nodes];
+                Arc::new(TcpNet::new(fabric, hosts, TcpParams::ip_over_atm()))
+            }
+            Testbed::SunAtmLanApi => {
+                let fabric = Arc::new(AtmLanFabric::new(AtmLanParams::fore_lan(nodes)));
+                let hosts = vec![HostParams::sparc_ipx(); nodes];
+                Arc::new(AtmApiNet::new(fabric, hosts, AtmApiParams::default()))
+            }
+            Testbed::NynetApi => {
+                let fabric = Arc::new(NynetFabric::new(NynetParams::nynet(nodes)));
+                let hosts = vec![HostParams::sparc_ipx(); nodes];
+                Arc::new(AtmApiNet::new(fabric, hosts, AtmApiParams::default()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::NodeId;
+    use crate::stack::BlockingWait;
+    use bytes::Bytes;
+    use ncs_sim::{Dur, Sim};
+    use parking_lot::Mutex;
+
+    fn one_way_latency(testbed: Testbed, bytes: usize) -> Dur {
+        let net = testbed.build(4);
+        let sim = Sim::new();
+        let lat = Arc::new(Mutex::new(Dur::ZERO));
+        let n2 = Arc::clone(&net);
+        sim.spawn("tx", move |ctx| {
+            n2.send(
+                ctx,
+                &BlockingWait,
+                NodeId(0),
+                NodeId(3),
+                0,
+                Bytes::from(vec![0u8; bytes]),
+            );
+        });
+        let l2 = Arc::clone(&lat);
+        sim.spawn("rx", move |ctx| {
+            let m = net.inbox(NodeId(3)).recv(ctx).unwrap();
+            ctx.sleep(net.recv_pickup_cost(NodeId(3), m.payload.len()));
+            *l2.lock() = ctx.now().since(m.sent_at);
+        });
+        sim.run().assert_clean();
+        let d = *lat.lock();
+        d
+    }
+
+    #[test]
+    fn all_testbeds_build_and_deliver() {
+        for tb in [
+            Testbed::SunEthernet,
+            Testbed::SunAtmLanTcp,
+            Testbed::NynetTcp,
+            Testbed::SunAtmLanApi,
+            Testbed::NynetApi,
+        ] {
+            let d = one_way_latency(tb, 4096);
+            assert!(d > Dur::ZERO, "{}: zero latency", tb.id());
+        }
+    }
+
+    #[test]
+    fn atm_lan_beats_ethernet_for_bulk() {
+        let eth = one_way_latency(Testbed::SunEthernet, 100_000);
+        let atm = one_way_latency(Testbed::SunAtmLanTcp, 100_000);
+        assert!(atm < eth, "ATM {atm} !< Ethernet {eth}");
+    }
+
+    #[test]
+    fn hsm_beats_nsm_on_atm_lan() {
+        let nsm = one_way_latency(Testbed::SunAtmLanTcp, 100_000);
+        let hsm = one_way_latency(Testbed::SunAtmLanApi, 100_000);
+        assert!(hsm < nsm, "HSM {hsm} !< NSM {nsm}");
+    }
+
+    #[test]
+    fn wan_adds_propagation_over_lan() {
+        let lan = one_way_latency(Testbed::SunAtmLanTcp, 1000);
+        let wan = one_way_latency(Testbed::NynetTcp, 1000);
+        assert!(wan.saturating_sub(lan) >= Dur::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod id_tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let ids: Vec<&str> = [
+            Testbed::SunEthernet,
+            Testbed::SunAtmLanTcp,
+            Testbed::NynetTcp,
+            Testbed::SunAtmLanApi,
+            Testbed::NynetApi,
+        ]
+        .iter()
+        .map(|t| t.id())
+        .collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "testbed ids must be unique");
+        assert_eq!(Testbed::SunEthernet.id(), "ethernet");
+    }
+
+    #[test]
+    fn descriptions_name_their_parts() {
+        assert!(Testbed::SunEthernet
+            .build(2)
+            .description()
+            .contains("Ethernet"));
+        assert!(Testbed::SunAtmLanTcp
+            .build(2)
+            .description()
+            .contains("TCP/IP"));
+        assert!(Testbed::SunAtmLanApi
+            .build(2)
+            .description()
+            .contains("ATM API"));
+        assert!(Testbed::NynetTcp.build(2).description().contains("NYNET"));
+    }
+
+    #[test]
+    fn hosts_match_testbed_hardware() {
+        use crate::fabric::NodeId;
+        // Ethernet testbed runs on ELCs, ATM testbeds on IPXs (Section 2).
+        assert!(Testbed::SunEthernet
+            .build(2)
+            .host(NodeId(0))
+            .name
+            .contains("ELC"));
+        for tb in [
+            Testbed::SunAtmLanTcp,
+            Testbed::NynetTcp,
+            Testbed::SunAtmLanApi,
+        ] {
+            assert!(
+                tb.build(2).host(NodeId(0)).name.contains("IPX"),
+                "{}",
+                tb.id()
+            );
+        }
+    }
+}

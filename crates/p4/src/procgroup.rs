@@ -1,0 +1,228 @@
+//! The p4 *procgroup file* — how `p4_create_procgroup` learned where to
+//! run (Butler & Lusk's user's guide, §"The procgroup file").
+//!
+//! ```text
+//! # master runs locally; no extra local slaves
+//! local 0
+//! sun1.npac.syr.edu 2 /home/ncs/bin/matmul
+//! sun2.npac.syr.edu 1 /home/ncs/bin/matmul ryadav
+//! ```
+//!
+//! Line grammar: `local <nslaves>` (exactly once, usually first) or
+//! `<hostname> <nprocs> [<program-path> [<login>]]`. `#` starts a comment.
+//! The master counts as one process on the `local` host, so the paper's
+//! "N nodes" experiments use a procgroup totalling N+1 processes.
+
+/// One remote-host entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcgroupEntry {
+    /// Hostname to rsh into.
+    pub host: String,
+    /// Number of processes started there.
+    pub nprocs: usize,
+    /// Program path (None = same as the master's).
+    pub program: Option<String>,
+    /// Remote login (None = same user).
+    pub login: Option<String>,
+}
+
+/// A parsed procgroup file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcgroupSpec {
+    /// Slave processes co-located with the master.
+    pub local_slaves: usize,
+    /// Remote entries, in file order (rank order).
+    pub entries: Vec<ProcgroupEntry>,
+}
+
+impl ProcgroupSpec {
+    /// Total processes: the master, local slaves, and every remote process.
+    pub fn total_procs(&self) -> usize {
+        1 + self.local_slaves + self.entries.iter().map(|e| e.nprocs).sum::<usize>()
+    }
+
+    /// Hostname that process `rank` runs on (`"local"` for the master and
+    /// local slaves), following p4's rank assignment order.
+    pub fn host_of(&self, rank: usize) -> Option<&str> {
+        if rank <= self.local_slaves {
+            return Some("local");
+        }
+        let mut next = self.local_slaves + 1;
+        for e in &self.entries {
+            if rank < next + e.nprocs {
+                return Some(&e.host);
+            }
+            next += e.nprocs;
+        }
+        None
+    }
+}
+
+/// Parse failure, with the 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcgroupError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProcgroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "procgroup line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProcgroupError {}
+
+/// Parses procgroup-file text.
+pub fn parse_procgroup(text: &str) -> Result<ProcgroupSpec, ProcgroupError> {
+    let mut local_slaves: Option<usize> = None;
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().unwrap();
+        if first == "local" {
+            if local_slaves.is_some() {
+                return Err(ProcgroupError {
+                    line: line_no,
+                    message: "duplicate 'local' line".into(),
+                });
+            }
+            let n = parts
+                .next()
+                .ok_or_else(|| ProcgroupError {
+                    line: line_no,
+                    message: "'local' needs a slave count".into(),
+                })?
+                .parse()
+                .map_err(|_| ProcgroupError {
+                    line: line_no,
+                    message: "bad local slave count".into(),
+                })?;
+            if parts.next().is_some() {
+                return Err(ProcgroupError {
+                    line: line_no,
+                    message: "trailing tokens after 'local <n>'".into(),
+                });
+            }
+            local_slaves = Some(n);
+        } else {
+            let nprocs: usize = parts
+                .next()
+                .ok_or_else(|| ProcgroupError {
+                    line: line_no,
+                    message: format!("host '{first}' needs a process count"),
+                })?
+                .parse()
+                .map_err(|_| ProcgroupError {
+                    line: line_no,
+                    message: "bad process count".into(),
+                })?;
+            if nprocs == 0 {
+                return Err(ProcgroupError {
+                    line: line_no,
+                    message: "process count must be positive".into(),
+                });
+            }
+            let program = parts.next().map(str::to_string);
+            let login = parts.next().map(str::to_string);
+            if parts.next().is_some() {
+                return Err(ProcgroupError {
+                    line: line_no,
+                    message: "too many tokens on host line".into(),
+                });
+            }
+            entries.push(ProcgroupEntry {
+                host: first.to_string(),
+                nprocs,
+                program,
+                login,
+            });
+        }
+    }
+    Ok(ProcgroupSpec {
+        local_slaves: local_slaves.ok_or(ProcgroupError {
+            line: 0,
+            message: "missing 'local' line".into(),
+        })?,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# NYNET matmul, 4 nodes
+local 0
+sun1.npac.syr.edu 2 /home/ncs/bin/matmul
+sun2.npac.syr.edu 1 /home/ncs/bin/matmul ryadav
+sun3.npac.syr.edu 1
+";
+
+    #[test]
+    fn parses_the_guide_style_file() {
+        let pg = parse_procgroup(SAMPLE).unwrap();
+        assert_eq!(pg.local_slaves, 0);
+        assert_eq!(pg.entries.len(), 3);
+        assert_eq!(pg.total_procs(), 5); // master + 4 nodes
+        assert_eq!(
+            pg.entries[0],
+            ProcgroupEntry {
+                host: "sun1.npac.syr.edu".into(),
+                nprocs: 2,
+                program: Some("/home/ncs/bin/matmul".into()),
+                login: None,
+            }
+        );
+        assert_eq!(pg.entries[1].login.as_deref(), Some("ryadav"));
+        assert_eq!(pg.entries[2].program, None);
+    }
+
+    #[test]
+    fn rank_to_host_mapping() {
+        let pg = parse_procgroup(SAMPLE).unwrap();
+        assert_eq!(pg.host_of(0), Some("local")); // master
+        assert_eq!(pg.host_of(1), Some("sun1.npac.syr.edu"));
+        assert_eq!(pg.host_of(2), Some("sun1.npac.syr.edu"));
+        assert_eq!(pg.host_of(3), Some("sun2.npac.syr.edu"));
+        assert_eq!(pg.host_of(4), Some("sun3.npac.syr.edu"));
+        assert_eq!(pg.host_of(5), None);
+    }
+
+    #[test]
+    fn local_slaves_counted() {
+        let pg = parse_procgroup("local 2\nfar.host 1\n").unwrap();
+        assert_eq!(pg.total_procs(), 4);
+        assert_eq!(pg.host_of(0), Some("local"));
+        assert_eq!(pg.host_of(2), Some("local"));
+        assert_eq!(pg.host_of(3), Some("far.host"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let pg = parse_procgroup("\n# all of it\nlocal 0 # trailing comment\n\n").unwrap();
+        assert_eq!(pg.total_procs(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_procgroup("local 0\nbadhost\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_procgroup("local zero\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_procgroup("host 1\n").unwrap_err();
+        assert_eq!(e.line, 0, "missing local line");
+        let e = parse_procgroup("local 0\nlocal 1\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_procgroup("local 0\nh 0\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+    }
+}

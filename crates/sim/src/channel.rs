@@ -1,0 +1,376 @@
+//! In-simulation message channels.
+//!
+//! [`SimChannel`] is an MPSC/MPMC queue whose blocking operations park green
+//! threads on virtual time. It is the building block for NIC receive rings,
+//! mailboxes and flow-controlled streams. Unlike OS channels, sends and
+//! receives take zero virtual time by themselves — time costs are modeled
+//! explicitly by whoever uses the channel.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{Ctx, Sim, ThreadId};
+use crate::time::SimTime;
+
+struct ChannelInner<T> {
+    name: String,
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    recv_waiters: VecDeque<ThreadId>,
+    send_waiters: VecDeque<ThreadId>,
+    closed: bool,
+    total_sent: u64,
+    peak_depth: usize,
+}
+
+/// A blocking queue between simulated activities.
+pub struct SimChannel<T> {
+    inner: Arc<Mutex<ChannelInner<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Error returned when operating on a closed, drained channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+impl<T> SimChannel<T> {
+    /// Creates an unbounded channel.
+    pub fn unbounded(name: impl Into<String>) -> SimChannel<T> {
+        Self::build(name.into(), None)
+    }
+
+    /// Creates a bounded channel; [`SimChannel::send`] blocks when full.
+    /// `capacity` must be at least 1.
+    pub fn bounded(name: impl Into<String>, capacity: usize) -> SimChannel<T> {
+        assert!(capacity > 0, "bounded channel needs capacity >= 1");
+        Self::build(name.into(), Some(capacity))
+    }
+
+    fn build(name: String, capacity: Option<usize>) -> SimChannel<T> {
+        SimChannel {
+            inner: Arc::new(Mutex::new(ChannelInner {
+                name,
+                queue: VecDeque::new(),
+                capacity,
+                recv_waiters: VecDeque::new(),
+                send_waiters: VecDeque::new(),
+                closed: false,
+                total_sent: 0,
+                peak_depth: 0,
+            })),
+        }
+    }
+
+    /// Sends from a green thread, blocking while the channel is full.
+    pub fn send(&self, ctx: &Ctx, value: T) -> Result<(), Closed> {
+        let mut value = Some(value);
+        loop {
+            {
+                let mut ch = self.inner.lock();
+                if ch.closed {
+                    return Err(Closed);
+                }
+                let full = ch.capacity.is_some_and(|c| ch.queue.len() >= c);
+                if !full {
+                    Self::push(&mut ch, value.take().unwrap());
+                    let waiter = ch.recv_waiters.pop_front();
+                    drop(ch);
+                    if let Some(w) = waiter {
+                        ctx.wake(w);
+                    }
+                    return Ok(());
+                }
+                ch.send_waiters.push_back(ctx.tid());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Sends from an event callback (or any non-thread context). Never
+    /// blocks; returns `Err` if bounded and full (callers model the loss or
+    /// back-pressure explicitly) or closed.
+    pub fn offer(&self, sim: &Sim, value: T) -> Result<(), T> {
+        let waiter = {
+            let mut ch = self.inner.lock();
+            if ch.closed || ch.capacity.is_some_and(|c| ch.queue.len() >= c) {
+                return Err(value);
+            }
+            Self::push(&mut ch, value);
+            ch.recv_waiters.pop_front()
+        };
+        if let Some(w) = waiter {
+            sim.wake(w);
+        }
+        Ok(())
+    }
+
+    fn push(ch: &mut ChannelInner<T>, value: T) {
+        ch.queue.push_back(value);
+        ch.total_sent += 1;
+        ch.peak_depth = ch.peak_depth.max(ch.queue.len());
+    }
+
+    /// Receives, blocking the calling green thread until a value or close.
+    pub fn recv(&self, ctx: &Ctx) -> Result<T, Closed> {
+        loop {
+            {
+                let mut ch = self.inner.lock();
+                if let Some(v) = ch.queue.pop_front() {
+                    let waiter = ch.send_waiters.pop_front();
+                    drop(ch);
+                    if let Some(w) = waiter {
+                        ctx.wake(w);
+                    }
+                    return Ok(v);
+                }
+                if ch.closed {
+                    return Err(Closed);
+                }
+                ch.recv_waiters.push_back(ctx.tid());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, sim: &Sim) -> Option<T> {
+        let (v, waiter) = {
+            let mut ch = self.inner.lock();
+            let v = ch.queue.pop_front()?;
+            (v, ch.send_waiters.pop_front())
+        };
+        if let Some(w) = waiter {
+            sim.wake(w);
+        }
+        Some(v)
+    }
+
+    /// Closes the channel: pending items remain receivable; subsequent sends
+    /// fail; blocked peers wake with [`Closed`] once drained.
+    pub fn close(&self, sim: &Sim) {
+        let waiters: Vec<ThreadId> = {
+            let mut ch = self.inner.lock();
+            ch.closed = true;
+            let mut ws: Vec<ThreadId> = ch.recv_waiters.drain(..).collect();
+            ws.extend(ch.send_waiters.drain(..));
+            ws
+        };
+        for w in waiters {
+            sim.wake(w);
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total items ever sent.
+    pub fn total_sent(&self) -> u64 {
+        self.inner.lock().total_sent
+    }
+
+    /// High-water mark of queue depth.
+    pub fn peak_depth(&self) -> usize {
+        self.inner.lock().peak_depth
+    }
+
+    /// Channel name (diagnostics).
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+
+    /// Current time helper for callers holding only the channel.
+    pub fn now(&self, sim: &Sim) -> SimTime {
+        sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn send_recv_fifo() {
+        let sim = Sim::new();
+        let ch: SimChannel<u32> = SimChannel::unbounded("c");
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            for i in 0..5 {
+                tx.send(ctx, i).unwrap();
+                ctx.sleep(Dur::from_micros(1));
+            }
+        });
+        let rx = ch.clone();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        sim.spawn("consumer", move |ctx| {
+            for _ in 0..5 {
+                got2.lock().push(rx.recv(ctx).unwrap());
+            }
+        });
+        sim.run().assert_clean();
+        assert_eq!(*got.lock(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ch.total_sent(), 5);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Sim::new();
+        let ch: SimChannel<&'static str> = SimChannel::unbounded("c");
+        let rx = ch.clone();
+        let when = Arc::new(Mutex::new(None));
+        let when2 = Arc::clone(&when);
+        sim.spawn("consumer", move |ctx| {
+            let v = rx.recv(ctx).unwrap();
+            assert_eq!(v, "hello");
+            *when2.lock() = Some(ctx.now());
+        });
+        let tx = ch.clone();
+        sim.spawn("producer", move |ctx| {
+            ctx.sleep(Dur::from_millis(2));
+            tx.send(ctx, "hello").unwrap();
+        });
+        sim.run().assert_clean();
+        assert_eq!(when.lock().unwrap(), SimTime::ZERO + Dur::from_millis(2));
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let sim = Sim::new();
+        let ch: SimChannel<u32> = SimChannel::bounded("c", 2);
+        let tx = ch.clone();
+        let send_times = Arc::new(Mutex::new(Vec::new()));
+        let st = Arc::clone(&send_times);
+        sim.spawn("producer", move |ctx| {
+            for i in 0..4 {
+                tx.send(ctx, i).unwrap();
+                st.lock().push(ctx.now());
+            }
+        });
+        let rx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            for _ in 0..4 {
+                ctx.sleep(Dur::from_micros(10));
+                rx.recv(ctx).unwrap();
+            }
+        });
+        sim.run().assert_clean();
+        let t = send_times.lock();
+        // First two immediate; third waits for first recv at 10us; fourth at 20us.
+        assert_eq!(t[0], SimTime::ZERO);
+        assert_eq!(t[1], SimTime::ZERO);
+        assert_eq!(t[2], SimTime::ZERO + Dur::from_micros(10));
+        assert_eq!(t[3], SimTime::ZERO + Dur::from_micros(20));
+        assert_eq!(ch.peak_depth(), 2);
+    }
+
+    #[test]
+    fn offer_from_callback_wakes_receiver() {
+        let sim = Sim::new();
+        let ch: SimChannel<u8> = SimChannel::unbounded("c");
+        let rx = ch.clone();
+        let done = Arc::new(Mutex::new(false));
+        let done2 = Arc::clone(&done);
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(rx.recv(ctx).unwrap(), 7);
+            *done2.lock() = true;
+        });
+        let tx = ch.clone();
+        sim.schedule_in(Dur::from_micros(5), move |sim| {
+            tx.offer(sim, 7).unwrap();
+        });
+        sim.run().assert_clean();
+        assert!(*done.lock());
+    }
+
+    #[test]
+    fn offer_full_bounded_fails() {
+        let sim = Sim::new();
+        let ch: SimChannel<u8> = SimChannel::bounded("c", 1);
+        let tx = ch.clone();
+        sim.schedule_in(Dur::from_micros(1), move |sim| {
+            assert!(tx.offer(sim, 1).is_ok());
+            assert_eq!(tx.offer(sim, 2), Err(2));
+        });
+        let rx = ch.clone();
+        sim.spawn("drain", move |ctx| {
+            ctx.sleep(Dur::from_micros(2));
+            assert_eq!(rx.recv(ctx).unwrap(), 1);
+        });
+        sim.run().assert_clean();
+    }
+
+    #[test]
+    fn close_wakes_blocked_receiver() {
+        let sim = Sim::new();
+        let ch: SimChannel<u8> = SimChannel::unbounded("c");
+        let rx = ch.clone();
+        let got_closed = Arc::new(Mutex::new(false));
+        let gc = Arc::clone(&got_closed);
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(rx.recv(ctx), Err(Closed));
+            *gc.lock() = true;
+        });
+        let cl = ch.clone();
+        sim.schedule_in(Dur::from_micros(1), move |sim| cl.close(sim));
+        sim.run().assert_clean();
+        assert!(*got_closed.lock());
+    }
+
+    #[test]
+    fn close_drains_pending_items_first() {
+        let sim = Sim::new();
+        let ch: SimChannel<u8> = SimChannel::unbounded("c");
+        let tx = ch.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| {
+            tx.offer(sim, 1).unwrap();
+            tx.offer(sim, 2).unwrap();
+            tx.close(sim);
+        });
+        let rx = ch.clone();
+        sim.spawn("consumer", move |ctx| {
+            ctx.sleep(Dur::from_micros(1));
+            assert_eq!(rx.recv(ctx), Ok(1));
+            assert_eq!(rx.recv(ctx), Ok(2));
+            assert_eq!(rx.recv(ctx), Err(Closed));
+        });
+        sim.run().assert_clean();
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let sim = Sim::new();
+        let ch: SimChannel<u8> = SimChannel::unbounded("c");
+        let c2 = ch.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| {
+            assert!(c2.try_recv(sim).is_none());
+            c2.offer(sim, 9).unwrap();
+            assert_eq!(c2.try_recv(sim), Some(9));
+        });
+        sim.run().assert_clean();
+    }
+}

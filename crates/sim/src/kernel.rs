@@ -1,0 +1,932 @@
+//! The discrete-event simulation kernel and its cooperative green threads.
+//!
+//! # Execution model
+//!
+//! A [`Sim`] owns a virtual clock and an event queue. Simulated activities
+//! come in two forms:
+//!
+//! * **callbacks** — `FnOnce(&Sim)` closures scheduled at an instant, used by
+//!   the network models to deliver cells, free links, fire timers;
+//! * **green threads** — ordinary Rust closures running on dedicated OS
+//!   threads under a *strict baton protocol*: at any moment either the kernel
+//!   loop or exactly one green thread is runnable. A green thread only
+//!   advances virtual time by calling [`Ctx::sleep`], and only relinquishes
+//!   control through [`Ctx`] methods. This gives sequential, deterministic
+//!   semantics while letting application code be written in a natural
+//!   blocking style — exactly how the paper's NCS_MTS threads behave.
+//!
+//! Events are ordered by `(time, sequence-number)`; sequence numbers are
+//! assigned in program order, so a simulation is a pure function of its
+//! inputs. [`Sim::trace_hash`] exposes a digest of the executed event
+//! sequence that tests use to assert bit-identical replay.
+
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{Dur, SimTime};
+use crate::trace::Tracer;
+
+/// Identifier of a green thread within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u32);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Why [`Sim::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The event queue drained: nothing can ever happen again.
+    Completed,
+    /// The configured virtual-time horizon was reached.
+    TimeLimit,
+    /// The configured event-count guard tripped (runaway simulation).
+    EventLimit,
+}
+
+/// Summary of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Names of green threads still blocked when the run stopped. A clean
+    /// experiment finishes with this empty; a non-empty list usually means a
+    /// communication deadlock in the modeled protocol.
+    pub blocked: Vec<String>,
+    /// Panic messages captured from green threads.
+    pub panics: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Asserts that the run drained completely, with no blocked threads and
+    /// no panics. Used pervasively by tests.
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        assert!(
+            self.panics.is_empty(),
+            "green thread panics: {:?}",
+            self.panics
+        );
+        assert_eq!(self.reason, StopReason::Completed, "run did not complete");
+        assert!(
+            self.blocked.is_empty(),
+            "threads still blocked at end of run: {:?}",
+            self.blocked
+        );
+    }
+}
+
+/// Scheduling state of a green thread slot.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum ThreadState {
+    /// Waiting for its baton with a Resume event already queued.
+    Scheduled,
+    /// Waiting for its baton with no queued resume; must be woken.
+    Parked,
+    /// Currently holds the baton.
+    Running,
+    /// Finished (normally, by cancellation, or by panic).
+    Exited,
+}
+
+/// One-slot baton used to hand control to a green thread.
+struct Baton {
+    state: Mutex<BatonMsg>,
+    cv: Condvar,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum BatonMsg {
+    Wait,
+    Go,
+    Cancel,
+}
+
+impl Baton {
+    fn new() -> Arc<Baton> {
+        Arc::new(Baton {
+            state: Mutex::new(BatonMsg::Wait),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn grant(&self, msg: BatonMsg) {
+        let mut st = self.state.lock();
+        debug_assert!(*st == BatonMsg::Wait);
+        *st = msg;
+        self.cv.notify_one();
+    }
+
+    /// Blocks until granted; returns `false` if the grant was a cancellation.
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        while *st == BatonMsg::Wait {
+            self.cv.wait(&mut st);
+        }
+        let go = *st == BatonMsg::Go;
+        *st = BatonMsg::Wait;
+        go
+    }
+}
+
+/// Gate the kernel loop waits on while a green thread holds the baton.
+struct KernelGate {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl KernelGate {
+    fn new() -> KernelGate {
+        KernelGate {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        let mut f = self.flag.lock();
+        *f = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut f = self.flag.lock();
+        while !*f {
+            self.cv.wait(&mut f);
+        }
+        *f = false;
+    }
+}
+
+struct ThreadSlot {
+    name: String,
+    state: ThreadState,
+    baton: Arc<Baton>,
+    join_handle: Option<std::thread::JoinHandle<()>>,
+    /// Green threads waiting in [`Ctx::join`] for this one to exit.
+    exit_waiters: Vec<ThreadId>,
+    /// Daemon threads (NIC models, switch ports) are expected to be parked
+    /// forever; they are excluded from the blocked-thread report.
+    daemon: bool,
+}
+
+enum EventKind {
+    Resume(ThreadId),
+    Call(Box<dyn FnOnce(&Sim) + Send>),
+}
+
+struct HeapEntry {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Inner {
+    now_ps: AtomicU64,
+    seq: AtomicU64,
+    queue: Mutex<BinaryHeap<HeapEntry>>,
+    threads: Mutex<Vec<ThreadSlot>>,
+    gate: KernelGate,
+    tracer: Mutex<Tracer>,
+    panics: Mutex<Vec<String>>,
+    running: AtomicBool,
+    finished: AtomicBool,
+    trace_hash: AtomicU64,
+}
+
+/// Handle to a simulation. Cheap to clone; all clones refer to the same
+/// virtual world.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<Inner>,
+}
+
+/// Unwind payload used to cancel a green thread at shutdown.
+struct CancelToken;
+
+fn install_quiet_cancel_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Sim::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at virtual time zero.
+    pub fn new() -> Sim {
+        install_quiet_cancel_hook();
+        Sim {
+            inner: Arc::new(Inner {
+                now_ps: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                queue: Mutex::new(BinaryHeap::new()),
+                threads: Mutex::new(Vec::new()),
+                gate: KernelGate::new(),
+                tracer: Mutex::new(Tracer::new()),
+                panics: Mutex::new(Vec::new()),
+                running: AtomicBool::new(false),
+                finished: AtomicBool::new(false),
+                trace_hash: AtomicU64::new(0xcbf2_9ce4_8422_2325),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ps(self.inner.now_ps.load(Ordering::SeqCst))
+    }
+
+    /// Digest of the event sequence executed so far. Two runs of the same
+    /// program with the same seed produce the same hash.
+    pub fn trace_hash(&self) -> u64 {
+        self.inner.trace_hash.load(Ordering::SeqCst)
+    }
+
+    /// Access to the span/event tracer (used by the timeline figures).
+    pub fn with_tracer<R>(&self, f: impl FnOnce(&mut Tracer) -> R) -> R {
+        f(&mut self.inner.tracer.lock())
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn push_event(&self, at: SimTime, kind: EventKind) {
+        debug_assert!(
+            at >= self.now(),
+            "scheduling into the past: {at} < {}",
+            self.now()
+        );
+        let seq = self.next_seq();
+        self.inner.queue.lock().push(HeapEntry {
+            time: at.as_ps(),
+            seq,
+            kind,
+        });
+    }
+
+    /// Schedules `f` to run at virtual instant `at`.
+    pub fn schedule_at(&self, at: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.push_event(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule_in(&self, after: Dur, f: impl FnOnce(&Sim) + Send + 'static) {
+        self.schedule_at(self.now() + after, f);
+    }
+
+    /// Spawns a green thread. The closure receives a [`Ctx`] for interacting
+    /// with virtual time. The thread first runs when the simulation reaches
+    /// the current instant's pending events.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ThreadId {
+        self.spawn_inner(name.into(), false, f)
+    }
+
+    /// Spawns an infrastructure ("daemon") green thread. Daemons typically
+    /// loop forever serving a queue; a run that ends while they are parked is
+    /// still considered clean, and [`Sim::finish`] cancels them.
+    pub fn spawn_daemon(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ThreadId {
+        self.spawn_inner(name.into(), true, f)
+    }
+
+    fn spawn_inner(
+        &self,
+        name: String,
+        daemon: bool,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ThreadId {
+        let baton = Baton::new();
+        let tid;
+        {
+            let mut table = self.inner.threads.lock();
+            tid = ThreadId(table.len() as u32);
+            table.push(ThreadSlot {
+                name: name.clone(),
+                state: ThreadState::Scheduled,
+                baton: Arc::clone(&baton),
+                join_handle: None,
+                exit_waiters: Vec::new(),
+                daemon,
+            });
+        }
+        let sim = self.clone();
+        let thread_baton = Arc::clone(&baton);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .stack_size(2 * 1024 * 1024)
+            .spawn(move || {
+                if !thread_baton.wait() {
+                    sim.mark_exited(tid);
+                    sim.inner.gate.signal();
+                    return;
+                }
+                let ctx = Ctx {
+                    sim: sim.clone(),
+                    tid,
+                };
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<CancelToken>().is_none() {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        sim.inner
+                            .panics
+                            .lock()
+                            .push(format!("thread '{}': {msg}", sim.thread_name(tid)));
+                    }
+                }
+                sim.mark_exited(tid);
+                sim.inner.gate.signal();
+            })
+            .expect("failed to spawn OS thread for green thread");
+        self.inner.threads.lock()[tid.0 as usize].join_handle = Some(handle);
+        self.push_event(self.now(), EventKind::Resume(tid));
+        tid
+    }
+
+    /// Name a thread was spawned with.
+    pub fn thread_name(&self, tid: ThreadId) -> String {
+        self.inner.threads.lock()[tid.0 as usize].name.clone()
+    }
+
+    fn mark_exited(&self, tid: ThreadId) {
+        let waiters;
+        {
+            let mut table = self.inner.threads.lock();
+            let slot = &mut table[tid.0 as usize];
+            slot.state = ThreadState::Exited;
+            waiters = std::mem::take(&mut slot.exit_waiters);
+        }
+        for w in waiters {
+            self.wake(w);
+        }
+    }
+
+    /// Makes a parked green thread runnable again at the current instant.
+    ///
+    /// Returns `true` if the thread was parked and is now scheduled, `false`
+    /// if it was already scheduled or has exited (both benign no-ops).
+    /// Panics if called on the currently running thread.
+    pub fn wake(&self, tid: ThreadId) -> bool {
+        let mut table = self.inner.threads.lock();
+        let slot = &mut table[tid.0 as usize];
+        match slot.state {
+            ThreadState::Parked => {
+                slot.state = ThreadState::Scheduled;
+                drop(table);
+                self.push_event(self.now(), EventKind::Resume(tid));
+                true
+            }
+            ThreadState::Scheduled | ThreadState::Exited => false,
+            ThreadState::Running => panic!("wake() on the running thread {tid}"),
+        }
+    }
+
+    /// Schedules a parked thread to resume at a future instant (a timed wake,
+    /// used for sleeps). Internal building block for [`Ctx::sleep`].
+    fn wake_at(&self, tid: ThreadId, at: SimTime) {
+        let mut table = self.inner.threads.lock();
+        let slot = &mut table[tid.0 as usize];
+        debug_assert_eq!(slot.state, ThreadState::Running);
+        slot.state = ThreadState::Scheduled;
+        drop(table);
+        self.push_event(at, EventKind::Resume(tid));
+    }
+
+    fn mix_hash(&self, a: u64, b: u64, c: u64) {
+        // FNV-1a over the event tuple words.
+        let mut h = self.inner.trace_hash.load(Ordering::SeqCst);
+        for w in [a, b, c] {
+            for byte in w.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        self.inner.trace_hash.store(h, Ordering::SeqCst);
+    }
+
+    /// Runs until the event queue drains (no horizon).
+    pub fn run(&self) -> RunOutcome {
+        self.run_bounded(None, u64::MAX)
+    }
+
+    /// Runs until the queue drains or virtual time would exceed `until`.
+    pub fn run_until(&self, until: SimTime) -> RunOutcome {
+        self.run_bounded(Some(until), u64::MAX)
+    }
+
+    /// Runs with both a time horizon and an event-count guard.
+    pub fn run_bounded(&self, until: Option<SimTime>, max_events: u64) -> RunOutcome {
+        assert!(
+            !self.inner.running.swap(true, Ordering::SeqCst),
+            "Sim::run re-entered"
+        );
+        let mut events: u64 = 0;
+        let reason = loop {
+            let entry = {
+                let mut q = self.inner.queue.lock();
+                match q.peek() {
+                    None => break StopReason::Completed,
+                    Some(e) => {
+                        if let Some(limit) = until {
+                            if e.time > limit.as_ps() {
+                                break StopReason::TimeLimit;
+                            }
+                        }
+                    }
+                }
+                q.pop().unwrap()
+            };
+            if events >= max_events {
+                break StopReason::EventLimit;
+            }
+            events += 1;
+            self.inner.now_ps.store(entry.time, Ordering::SeqCst);
+            match entry.kind {
+                EventKind::Call(f) => {
+                    self.mix_hash(entry.time, entry.seq, 1);
+                    f(self);
+                }
+                EventKind::Resume(tid) => {
+                    self.mix_hash(entry.time, entry.seq, 2 | (u64::from(tid.0) << 8));
+                    let baton = {
+                        let mut table = self.inner.threads.lock();
+                        let slot = &mut table[tid.0 as usize];
+                        if slot.state != ThreadState::Scheduled {
+                            // Stale resume (thread exited in the meantime).
+                            continue;
+                        }
+                        slot.state = ThreadState::Running;
+                        Arc::clone(&slot.baton)
+                    };
+                    baton.grant(BatonMsg::Go);
+                    self.inner.gate.wait();
+                }
+            }
+        };
+        if let (StopReason::TimeLimit, Some(limit)) = (reason, until) {
+            self.inner.now_ps.store(limit.as_ps(), Ordering::SeqCst);
+        }
+        self.inner.running.store(false, Ordering::SeqCst);
+        let blocked = {
+            let table = self.inner.threads.lock();
+            table
+                .iter()
+                .filter(|s| {
+                    !s.daemon && matches!(s.state, ThreadState::Parked | ThreadState::Scheduled)
+                })
+                .map(|s| s.name.clone())
+                .collect()
+        };
+        let panics = self.inner.panics.lock().clone();
+        RunOutcome {
+            end_time: self.now(),
+            events,
+            reason,
+            blocked,
+            panics,
+        }
+    }
+
+    /// Cancels every live green thread and joins their OS threads. Called
+    /// automatically when the last [`Sim`] handle drops; call it explicitly
+    /// to reclaim OS threads earlier.
+    pub fn finish(&self) {
+        if self.inner.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        loop {
+            let target = {
+                let mut table = self.inner.threads.lock();
+                let slot = table
+                    .iter_mut()
+                    .find(|s| matches!(s.state, ThreadState::Parked | ThreadState::Scheduled));
+                match slot {
+                    None => break,
+                    Some(s) => {
+                        s.state = ThreadState::Running;
+                        Arc::clone(&s.baton)
+                    }
+                }
+            };
+            target.grant(BatonMsg::Cancel);
+            self.inner.gate.wait();
+        }
+        let handles: Vec<_> = {
+            let mut table = self.inner.threads.lock();
+            table
+                .iter_mut()
+                .filter_map(|s| s.join_handle.take())
+                .collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // All Sim handles are gone, so no green thread can still be live and
+        // holding one (each green thread owns a Sim clone). Nothing to do.
+    }
+}
+
+/// Per-thread context passed to green-thread closures.
+///
+/// All virtual-time interaction goes through this handle. A green thread
+/// must never block on OS primitives directly; doing so would stall the
+/// entire simulation.
+pub struct Ctx {
+    sim: Sim,
+    tid: ThreadId,
+}
+
+impl Ctx {
+    /// The simulation this thread belongs to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Relinquishes control and resumes once virtual time has advanced by
+    /// `d`. A zero-duration sleep is a yield: other work scheduled at the
+    /// same instant runs first.
+    pub fn sleep(&self, d: Dur) {
+        let at = self.sim.now() + d;
+        self.sim.wake_at(self.tid, at);
+        self.yield_baton();
+    }
+
+    /// Yields to other events pending at the current instant.
+    pub fn yield_now(&self) {
+        self.sleep(Dur::ZERO);
+    }
+
+    /// Parks this thread until some other activity calls [`Sim::wake`] on it.
+    ///
+    /// The caller must have published (under its own locking discipline) the
+    /// state another activity will use to find and wake it — since only one
+    /// simulated activity runs at a time, there is no lost-wakeup window.
+    pub fn park(&self) {
+        {
+            let mut table = self.sim.inner.threads.lock();
+            let slot = &mut table[self.tid.0 as usize];
+            debug_assert_eq!(slot.state, ThreadState::Running);
+            slot.state = ThreadState::Parked;
+        }
+        self.yield_baton();
+    }
+
+    /// Wakes another parked thread (at the current instant).
+    pub fn wake(&self, tid: ThreadId) -> bool {
+        assert_ne!(tid, self.tid, "a thread cannot wake itself");
+        self.sim.wake(tid)
+    }
+
+    /// Spawns a sibling green thread.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ThreadId {
+        self.sim.spawn(name, f)
+    }
+
+    /// Spawns a sibling daemon thread (see [`Sim::spawn_daemon`]).
+    pub fn spawn_daemon(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ThreadId {
+        self.sim.spawn_daemon(name, f)
+    }
+
+    /// Blocks until the given thread has exited.
+    pub fn join(&self, tid: ThreadId) {
+        loop {
+            {
+                let mut table = self.sim.inner.threads.lock();
+                if table[tid.0 as usize].state == ThreadState::Exited {
+                    return;
+                }
+                table[tid.0 as usize].exit_waiters.push(self.tid);
+            }
+            self.park();
+        }
+    }
+
+    fn yield_baton(&self) {
+        let baton = {
+            let table = self.sim.inner.threads.lock();
+            Arc::clone(&table[self.tid.0 as usize].baton)
+        };
+        self.sim.inner.gate.signal();
+        if !baton.wait() {
+            panic::panic_any(CancelToken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_sim_completes_immediately() {
+        let sim = Sim::new();
+        let out = sim.run();
+        out.assert_clean();
+        assert_eq!(out.events, 0);
+        assert_eq!(out.end_time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn callbacks_run_in_time_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = Arc::clone(&log);
+            sim.schedule_at(SimTime::from_ps(t * 1000), move |_| {
+                log.lock().push(tag);
+            });
+        }
+        sim.run().assert_clean();
+        assert_eq!(*log.lock(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_in_program_order() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..10 {
+            let log = Arc::clone(&log);
+            sim.schedule_at(SimTime::from_ps(5), move |_| log.lock().push(tag));
+        }
+        sim.run().assert_clean();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_sleep_advances_time() {
+        let sim = Sim::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("sleeper", move |ctx| {
+            seen2.lock().push(ctx.now());
+            ctx.sleep(Dur::from_micros(3));
+            seen2.lock().push(ctx.now());
+            ctx.sleep(Dur::from_micros(4));
+            seen2.lock().push(ctx.now());
+        });
+        let out = sim.run();
+        out.assert_clean();
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                SimTime::ZERO,
+                SimTime::ZERO + Dur::from_micros(3),
+                SimTime::ZERO + Dur::from_micros(7),
+            ]
+        );
+        assert_eq!(out.end_time, SimTime::ZERO + Dur::from_micros(7));
+    }
+
+    #[test]
+    fn park_and_wake_handshake() {
+        let sim = Sim::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let sleeper = sim.spawn("sleeper", move |ctx| {
+            ctx.park();
+            hits2.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.now(), SimTime::ZERO + Dur::from_millis(1));
+        });
+        sim.spawn("waker", move |ctx| {
+            ctx.sleep(Dur::from_millis(1));
+            assert!(ctx.wake(sleeper));
+        });
+        sim.run().assert_clean();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wake_on_scheduled_thread_is_noop() {
+        let sim = Sim::new();
+        let target = sim.spawn("t", move |ctx| ctx.sleep(Dur::from_nanos(1)));
+        sim.spawn("w", move |ctx| {
+            // target is Scheduled (its initial resume is queued): no-op.
+            assert!(!ctx.wake(target));
+        });
+        sim.run().assert_clean();
+    }
+
+    #[test]
+    fn join_waits_for_exit() {
+        let sim = Sim::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        let worker = sim.spawn("worker", move |ctx| {
+            ctx.sleep(Dur::from_micros(10));
+            o1.lock().push("worker-done");
+        });
+        let o2 = Arc::clone(&order);
+        sim.spawn("joiner", move |ctx| {
+            ctx.join(worker);
+            o2.lock().push("joined");
+            assert_eq!(ctx.now(), SimTime::ZERO + Dur::from_micros(10));
+        });
+        sim.run().assert_clean();
+        assert_eq!(*order.lock(), vec!["worker-done", "joined"]);
+    }
+
+    #[test]
+    fn join_on_already_exited_thread_returns() {
+        let sim = Sim::new();
+        let worker = sim.spawn("worker", |_| {});
+        sim.spawn("joiner", move |ctx| {
+            ctx.sleep(Dur::from_millis(5));
+            ctx.join(worker); // already exited
+        });
+        sim.run().assert_clean();
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        let sim = Sim::new();
+        sim.spawn("long", |ctx| ctx.sleep(Dur::from_secs(100)));
+        let out = sim.run_until(SimTime::ZERO + Dur::from_secs(1));
+        assert_eq!(out.reason, StopReason::TimeLimit);
+        assert_eq!(out.end_time, SimTime::ZERO + Dur::from_secs(1));
+        assert_eq!(out.blocked, vec!["long".to_string()]);
+        sim.finish();
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let sim = Sim::new();
+        fn reschedule(sim: &Sim) {
+            sim.schedule_in(Dur::from_nanos(1), reschedule);
+        }
+        sim.schedule_in(Dur::from_nanos(1), reschedule);
+        let out = sim.run_bounded(None, 1000);
+        assert_eq!(out.reason, StopReason::EventLimit);
+        assert_eq!(out.events, 1000);
+    }
+
+    #[test]
+    fn panics_are_captured_not_fatal() {
+        let sim = Sim::new();
+        sim.spawn("bad", |_| panic!("boom-{}", 42));
+        let out = sim.run();
+        assert_eq!(out.panics.len(), 1);
+        assert!(out.panics[0].contains("boom-42"), "{:?}", out.panics);
+    }
+
+    #[test]
+    fn finish_cancels_parked_threads() {
+        let sim = Sim::new();
+        sim.spawn("forever", |ctx| {
+            ctx.park(); // never woken
+            unreachable!("parked thread must not resume normally");
+        });
+        let out = sim.run();
+        assert_eq!(out.blocked, vec!["forever".to_string()]);
+        sim.finish(); // must not hang, must not report a panic
+        assert!(sim.inner.panics.lock().is_empty());
+    }
+
+    #[test]
+    fn spawn_from_thread_works() {
+        let sim = Sim::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        sim.spawn("parent", move |ctx| {
+            let mut children = Vec::new();
+            for i in 0..5 {
+                let c = Arc::clone(&c);
+                children.push(ctx.spawn(format!("child{i}"), move |ctx| {
+                    ctx.sleep(Dur::from_micros(i));
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for ch in children {
+                ctx.join(ch);
+            }
+        });
+        sim.run().assert_clean();
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn daemons_not_reported_blocked() {
+        let sim = Sim::new();
+        sim.spawn_daemon("nic", |ctx| loop {
+            ctx.park();
+        });
+        sim.spawn("app", |ctx| ctx.sleep(Dur::from_micros(1)));
+        let out = sim.run();
+        out.assert_clean();
+        sim.finish();
+    }
+
+    #[test]
+    fn deterministic_trace_hash() {
+        fn build_and_run(seed_threads: u32) -> u64 {
+            let sim = Sim::new();
+            for i in 0..seed_threads {
+                sim.spawn(format!("t{i}"), move |ctx| {
+                    for k in 0..10 {
+                        ctx.sleep(Dur::from_nanos(u64::from(i) * 7 + k + 1));
+                    }
+                });
+            }
+            sim.run().assert_clean();
+            sim.trace_hash()
+        }
+        let h1 = build_and_run(8);
+        let h2 = build_and_run(8);
+        let h3 = build_and_run(9);
+        assert_eq!(h1, h2, "same program must replay identically");
+        assert_ne!(h1, h3, "different programs should diverge");
+    }
+
+    #[test]
+    fn many_threads_interleave_deterministically() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20u64 {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("t{i}"), move |ctx| {
+                ctx.sleep(Dur::from_nanos(100 - i)); // reverse wake order
+                log.lock().push(i);
+            });
+        }
+        sim.run().assert_clean();
+        let got = log.lock().clone();
+        let want: Vec<u64> = (0..20).rev().collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ncs-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate under the NCS reproduction: a discrete-event
+//! simulator with *cooperative green threads*, so that runtime code (thread
+//! schedulers, message-passing layers, applications) can be written in a
+//! natural blocking style while virtual time, ordering, and randomness stay
+//! fully deterministic.
+//!
+//! Main pieces:
+//!
+//! * [`SimTime`] / [`Dur`] — integer picosecond virtual time;
+//! * [`Sim`] / [`Ctx`] — the kernel, event scheduling, and green threads
+//!   under a strict baton-passing protocol (at most one runnable activity);
+//! * [`FifoResource`] — counted FIFO resources (buses, links, buffer pools);
+//! * [`SimChannel`] — blocking queues between simulated activities;
+//! * [`Tracer`] — span recording for the paper's timeline figures;
+//! * [`SimRng`] — seeded, splittable randomness.
+//!
+//! ```
+//! use ncs_sim::{Dur, Sim};
+//!
+//! let sim = Sim::new();
+//! sim.spawn("hello", |ctx| {
+//!     ctx.sleep(Dur::from_micros(5));
+//!     assert_eq!(ctx.now().as_ps(), 5_000_000);
+//! });
+//! sim.run().assert_clean();
+//! ```
+
+#![warn(missing_docs)]
+
+mod channel;
+mod kernel;
+mod resource;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use channel::{Closed, SimChannel};
+pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId};
+pub use resource::FifoResource;
+pub use rng::SimRng;
+pub use stats::{DurHistogram, DurSummary};
+pub use time::{Dur, SimTime};
+pub use trace::{Span, SpanKind, Tracer};

@@ -1,0 +1,245 @@
+//! Span tracing for timeline ("Gantt") reconstruction.
+//!
+//! The paper's Figures 4 and 16 show per-thread compute / communication /
+//! idle timelines with and without multithreading. Runtime components record
+//! [`Span`]s here; the bench harness renders them as ASCII Gantt charts and
+//! computes per-actor utilization.
+
+use std::collections::BTreeMap;
+
+use crate::time::{Dur, SimTime};
+
+/// What an actor was doing during a span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Useful application computation.
+    Compute,
+    /// Moving data (protocol processing, copying, wire time).
+    Comm,
+    /// Blocked waiting for a message or event.
+    Idle,
+    /// Runtime bookkeeping (context switches, queue management).
+    Overhead,
+}
+
+impl SpanKind {
+    /// One-character glyph used in rendered timelines.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Compute => '#',
+            SpanKind::Comm => '~',
+            SpanKind::Idle => '.',
+            SpanKind::Overhead => 'o',
+        }
+    }
+}
+
+/// A closed interval of activity by one actor.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Actor name, conventionally `"<node>/<thread>"`.
+    pub actor: String,
+    /// Activity class.
+    pub kind: SpanKind,
+    /// Free-form label (message tag, phase name).
+    pub label: String,
+    /// Start instant.
+    pub t0: SimTime,
+    /// End instant.
+    pub t1: SimTime,
+}
+
+/// Collected spans plus named counters.
+#[derive(Default)]
+pub struct Tracer {
+    spans: Vec<Span>,
+    counters: BTreeMap<String, u64>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates a tracer. Span recording starts disabled (counters always
+    /// work); call [`Tracer::enable`] when reconstructing timelines.
+    pub fn new() -> Tracer {
+        Tracer {
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            enabled: false,
+        }
+    }
+
+    /// Enables span recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether span recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span if recording is enabled and the span is non-empty.
+    pub fn span(&mut self, actor: &str, kind: SpanKind, label: &str, t0: SimTime, t1: SimTime) {
+        if self.enabled && t1 > t0 {
+            self.spans.push(Span {
+                actor: actor.to_string(),
+                kind,
+                label: label.to_string(),
+                t0,
+                t1,
+            });
+        }
+    }
+
+    /// Adds to a named counter (always recorded).
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads a named counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total time each actor spent in each kind, over `[t_begin, t_end]`.
+    pub fn utilization(&self) -> BTreeMap<String, BTreeMap<SpanKind, Dur>> {
+        let mut out: BTreeMap<String, BTreeMap<SpanKind, Dur>> = BTreeMap::new();
+        for s in &self.spans {
+            let e = out
+                .entry(s.actor.clone())
+                .or_default()
+                .entry(s.kind)
+                .or_insert(Dur::ZERO);
+            *e += s.t1.since(s.t0);
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart: one row per actor, `width` time buckets.
+    /// Later spans overwrite earlier ones within a bucket; idle gaps show as
+    /// spaces.
+    pub fn render_gantt(&self, width: usize) -> String {
+        assert!(width >= 10, "gantt width too small");
+        if self.spans.is_empty() {
+            return String::from("(no spans recorded)\n");
+        }
+        let t0 = self.spans.iter().map(|s| s.t0).min().unwrap();
+        let t1 = self.spans.iter().map(|s| s.t1).max().unwrap();
+        let total = t1.since(t0).as_ps().max(1);
+        let mut actors: Vec<&str> = self.spans.iter().map(|s| s.actor.as_str()).collect();
+        actors.sort_unstable();
+        actors.dedup();
+        let name_w = actors.iter().map(|a| a.len()).max().unwrap_or(0).max(8);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:name_w$} |{}|  span {} .. {}\n",
+            "actor",
+            "-".repeat(width),
+            t0,
+            t1,
+        ));
+        for actor in actors {
+            let mut row = vec![' '; width];
+            for s in self.spans.iter().filter(|s| s.actor == actor) {
+                let b0 =
+                    ((s.t0.since(t0).as_ps() as u128 * width as u128) / total as u128) as usize;
+                let b1 =
+                    ((s.t1.since(t0).as_ps() as u128 * width as u128) / total as u128) as usize;
+                let b1 = b1.clamp(b0 + 1, width).min(width);
+                for cell in row.iter_mut().take(b1).skip(b0.min(width - 1)) {
+                    *cell = s.kind.glyph();
+                }
+            }
+            out.push_str(&format!(
+                "{:name_w$} |{}|\n",
+                actor,
+                row.into_iter().collect::<String>()
+            ));
+        }
+        out.push_str("legend: # compute   ~ comm   . idle   o overhead\n");
+        out
+    }
+
+    /// Clears spans and counters.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + Dur::from_micros(us)
+    }
+
+    #[test]
+    fn spans_only_recorded_when_enabled() {
+        let mut tr = Tracer::new();
+        tr.span("n0/t0", SpanKind::Compute, "x", t(0), t(5));
+        assert!(tr.spans().is_empty());
+        tr.enable();
+        tr.span("n0/t0", SpanKind::Compute, "x", t(0), t(5));
+        assert_eq!(tr.spans().len(), 1);
+    }
+
+    #[test]
+    fn empty_spans_dropped() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.span("a", SpanKind::Idle, "", t(3), t(3));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut tr = Tracer::new();
+        tr.count("cells", 3);
+        tr.count("cells", 4);
+        assert_eq!(tr.counter("cells"), 7);
+        assert_eq!(tr.counter("missing"), 0);
+    }
+
+    #[test]
+    fn utilization_sums_per_kind() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.span("a", SpanKind::Compute, "", t(0), t(4));
+        tr.span("a", SpanKind::Compute, "", t(6), t(8));
+        tr.span("a", SpanKind::Idle, "", t(4), t(6));
+        let u = tr.utilization();
+        assert_eq!(u["a"][&SpanKind::Compute], Dur::from_micros(6));
+        assert_eq!(u["a"][&SpanKind::Idle], Dur::from_micros(2));
+    }
+
+    #[test]
+    fn gantt_renders_all_actors() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.span("n0/t0", SpanKind::Compute, "", t(0), t(50));
+        tr.span("n1/t0", SpanKind::Comm, "", t(25), t(100));
+        let g = tr.render_gantt(40);
+        assert!(g.contains("n0/t0"));
+        assert!(g.contains("n1/t0"));
+        assert!(g.contains('#'));
+        assert!(g.contains('~'));
+    }
+
+    #[test]
+    fn gantt_handles_empty() {
+        let tr = Tracer::new();
+        assert!(tr.render_gantt(40).contains("no spans"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests of the simulation kernel's core guarantees:
+//! determinism, time monotonicity, resource capacity, channel FIFO order.
+
+use ncs_sim::{Dur, FifoResource, Sim, SimChannel, SimRng, SimTime};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a pseudo-random program of sleeping/waking/channel-passing
+/// threads from a seed, runs it, and returns (end time, trace hash).
+fn run_random_program(seed: u64, n_threads: usize, n_ops: usize) -> (SimTime, u64) {
+    let sim = Sim::new();
+    let ch: SimChannel<u64> = SimChannel::unbounded("bus");
+    for t in 0..n_threads {
+        let mut rng = SimRng::new(seed).split(t as u64);
+        let ch = ch.clone();
+        sim.spawn(format!("t{t}"), move |ctx| {
+            for _ in 0..n_ops {
+                match rng.gen_index(3) {
+                    0 => ctx.sleep(Dur::from_nanos(rng.gen_range(1_000) + 1)),
+                    1 => {
+                        let _ = ch.send(ctx, rng.next_u64());
+                    }
+                    _ => {
+                        if let Some(v) = ch.try_recv(ctx.sim()) {
+                            // Mix received value into timing.
+                            ctx.sleep(Dur::from_ps(v % 977 + 1));
+                        } else {
+                            ctx.yield_now();
+                        }
+                    }
+                }
+            }
+        });
+    }
+    let out = sim.run();
+    assert!(out.panics.is_empty(), "{:?}", out.panics);
+    (out.end_time, sim.trace_hash())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any program replays bit-identically: same seed, same end time, same
+    /// event digest.
+    #[test]
+    fn deterministic_replay(seed in 0u64..10_000, threads in 1usize..8, ops in 1usize..40) {
+        let a = run_random_program(seed, threads, ops);
+        let b = run_random_program(seed, threads, ops);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Observed virtual time never decreases within a thread.
+    #[test]
+    fn time_monotone_per_thread(seed in 0u64..10_000, ops in 1usize..50) {
+        let sim = Sim::new();
+        let violations = Arc::new(Mutex::new(0usize));
+        for t in 0..3 {
+            let mut rng = SimRng::new(seed).split(t);
+            let violations = Arc::clone(&violations);
+            sim.spawn(format!("t{t}"), move |ctx| {
+                let mut last = ctx.now();
+                for _ in 0..ops {
+                    ctx.sleep(Dur::from_nanos(rng.gen_range(100)));
+                    let now = ctx.now();
+                    if now < last {
+                        *violations.lock() += 1;
+                    }
+                    last = now;
+                }
+            });
+        }
+        sim.run().assert_clean();
+        prop_assert_eq!(*violations.lock(), 0);
+    }
+
+    /// A FIFO resource never admits more holders than its capacity, under
+    /// arbitrary acquire/hold patterns.
+    #[test]
+    fn resource_capacity_invariant(
+        seed in 0u64..10_000,
+        capacity in 1usize..5,
+        users in 1usize..12,
+    ) {
+        let sim = Sim::new();
+        let res = FifoResource::new("r", capacity);
+        let active = Arc::new(Mutex::new((0usize, 0usize))); // (current, peak)
+        for u in 0..users {
+            let res = res.clone();
+            let active = Arc::clone(&active);
+            let mut rng = SimRng::new(seed).split(u as u64);
+            sim.spawn(format!("u{u}"), move |ctx| {
+                for _ in 0..3 {
+                    ctx.sleep(Dur::from_nanos(rng.gen_range(500)));
+                    res.acquire(ctx);
+                    {
+                        let mut a = active.lock();
+                        a.0 += 1;
+                        a.1 = a.1.max(a.0);
+                    }
+                    ctx.sleep(Dur::from_nanos(rng.gen_range(500) + 1));
+                    active.lock().0 -= 1;
+                    res.release(ctx.sim());
+                }
+            });
+        }
+        sim.run().assert_clean();
+        let (_, peak) = *active.lock();
+        prop_assert!(peak <= capacity, "peak {peak} > capacity {capacity}");
+    }
+
+    /// Channel deliveries preserve per-sender FIFO order.
+    #[test]
+    fn channel_fifo_per_sender(seed in 0u64..10_000, msgs in 1usize..30) {
+        let sim = Sim::new();
+        let ch: SimChannel<(usize, usize)> = SimChannel::unbounded("c");
+        for s in 0..3usize {
+            let ch = ch.clone();
+            let mut rng = SimRng::new(seed).split(s as u64);
+            sim.spawn(format!("s{s}"), move |ctx| {
+                for i in 0..msgs {
+                    ctx.sleep(Dur::from_nanos(rng.gen_range(200)));
+                    ch.send(ctx, (s, i)).unwrap();
+                }
+            });
+        }
+        let ch2 = ch.clone();
+        let seen = Arc::new(Mutex::new(vec![0usize; 3]));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("rx", move |ctx| {
+            for _ in 0..3 * msgs {
+                let (s, i) = ch2.recv(ctx).unwrap();
+                let mut v = seen2.lock();
+                assert_eq!(v[s], i, "sender {s} out of order");
+                v[s] += 1;
+            }
+        });
+        sim.run().assert_clean();
+        prop_assert!(seen.lock().iter().all(|&c| c == msgs));
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification pipeline: format check, lints, tests, benches (smoke),
+# docs, and every experiment regenerator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== benches (smoke) =="
+cargo bench -p ncs-bench -- --test
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "== experiments =="
+cargo run --release -p ncs-bench --bin report
+
+echo "ALL CHECKS PASSED"
