@@ -483,6 +483,13 @@ pub fn fft_p4(net: Arc<dyn Network>, cfg: FftConfig) -> FftRun {
 /// units); the final exchange partner is the sibling thread, so that hop
 /// never touches the wire.
 pub fn fft_ncs(net: Arc<dyn Network>, cfg: FftConfig) -> FftRun {
+    fft_ncs_with(net, cfg, NcsConfig::default())
+}
+
+/// [`fft_ncs`] with an explicit NCS configuration (error control, flow
+/// control, retransmission tuning) — what the chaos harness uses to run
+/// the transpose-exchange FFT over a faulty transport.
+pub fn fft_ncs_with(net: Arc<dyn Network>, cfg: FftConfig, ncs_cfg: NcsConfig) -> FftRun {
     let sim = Sim::new();
     let (sets, expect) = workload(&cfg);
     let got: Arc<Mutex<Vec<Option<Vec<Cx>>>>> = Arc::new(Mutex::new(vec![None; cfg.sets]));
@@ -512,7 +519,7 @@ pub fn fft_ncs(net: Arc<dyn Network>, cfg: FftConfig) -> FftRun {
         &sim,
         vec![net],
         n_procs,
-        NcsConfig::default(),
+        ncs_cfg,
         move |id, proc_| {
             let costs = AppCosts::for_host(proc_.host());
             if host_procs == 1 && id == 0 {

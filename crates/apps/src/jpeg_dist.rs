@@ -257,6 +257,18 @@ pub fn jpeg_ncs(net: Arc<dyn Network>, cfg: JpegConfig) -> JpegRun {
 
 /// Schedules the NCS_MTS/p4 pipeline onto an existing simulation.
 pub fn setup_jpeg_ncs(sim: &Sim, net: Arc<dyn Network>, cfg: JpegConfig) -> JpegHandle {
+    setup_jpeg_ncs_with(sim, net, cfg, NcsConfig::default())
+}
+
+/// [`setup_jpeg_ncs`] with an explicit NCS configuration (error control,
+/// flow control, retransmission tuning) — what the chaos harness uses to
+/// run the pipeline over a faulty transport.
+pub fn setup_jpeg_ncs_with(
+    sim: &Sim,
+    net: Arc<dyn Network>,
+    cfg: JpegConfig,
+    ncs_cfg: NcsConfig,
+) -> JpegHandle {
     assert!(
         cfg.nodes >= 2 && cfg.nodes.is_multiple_of(2),
         "need pairs of nodes"
@@ -286,7 +298,7 @@ pub fn setup_jpeg_ncs(sim: &Sim, net: Arc<dyn Network>, cfg: JpegConfig) -> Jpeg
         sim,
         vec![net],
         cfg.nodes + 1,
-        NcsConfig::default(),
+        ncs_cfg,
         move |id, proc_| {
             let costs = AppCosts::for_host(proc_.host());
             let host_model = proc_.host().clone();

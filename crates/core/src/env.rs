@@ -27,7 +27,7 @@ use bytes::Bytes;
 use ncs_mts::{Mts, MtsConfig, MtsCtx, MtsTid};
 use ncs_net::stack::WaitPolicy;
 use ncs_net::{Delivery, HostParams, Network, NodeId};
-use ncs_sim::{Ctx, Dur, Sim, SimChannel, SpanKind};
+use ncs_sim::{Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -73,12 +73,54 @@ pub struct NcsConfig {
     /// CPU cost of one receive-thread poll of the transport
     /// (`p4_messages_available`).
     pub poll_cost: Dur,
-    /// Error control: how long to wait for an acknowledgment before
-    /// retransmitting (loss recovery; NACKs handle corruption faster).
-    pub retx_timeout: Dur,
+    /// Error control: adaptive retransmission-timeout parameters.
+    pub rto: RtoConfig,
     /// Error control: give up (and raise a local delivery-failure
     /// exception, code [`EXC_DELIVERY_FAILED`]) after this many timeouts.
+    /// Exhausting the budget also marks the destination **dead**: further
+    /// sends to it fail fast with the same exception instead of hanging.
     pub max_retries: u32,
+}
+
+/// Adaptive retransmission-timeout parameters (Jacobson's algorithm).
+///
+/// Error control keeps a per-destination smoothed RTT and variance from
+/// acknowledged frames (`SRTT += (rtt − SRTT)/8`, `RTTVAR += (|rtt − SRTT|
+/// − RTTVAR)/4`) and times out at `SRTT + 4·RTTVAR`, clamped to `[min,
+/// max]`. Karn's rule: retransmitted frames never contribute samples, since
+/// their ACKs are ambiguous. Each timeout doubles the timeout (exponential
+/// backoff), still capped at `max`; a fresh sample resets the backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RtoConfig {
+    /// Timeout used before the first RTT sample from a destination.
+    pub initial: Dur,
+    /// Floor for the computed timeout.
+    pub min: Dur,
+    /// Ceiling for the computed timeout, including backoff.
+    pub max: Dur,
+}
+
+impl Default for RtoConfig {
+    fn default() -> RtoConfig {
+        RtoConfig {
+            initial: Dur::from_millis(500),
+            min: Dur::from_millis(10),
+            max: Dur::from_secs(4),
+        }
+    }
+}
+
+impl RtoConfig {
+    /// A config whose three parameters scale from one base timeout:
+    /// `initial = base`, `min = base / 4`, `max = base × 16`. Convenient
+    /// for tests and experiments that used to set a single fixed timeout.
+    pub fn from_base(base: Dur) -> RtoConfig {
+        RtoConfig {
+            initial: base,
+            min: Dur::from_ps((base.as_ps() / 4).max(1)),
+            max: base.times(16),
+        }
+    }
 }
 
 /// Exception code raised locally when error control exhausts its retries.
@@ -91,7 +133,7 @@ impl Default for NcsConfig {
             flow: FlowControl::None,
             error: ErrorControl::None,
             poll_cost: Dur::from_micros(10),
-            retx_timeout: Dur::from_millis(500),
+            rto: RtoConfig::default(),
             max_retries: 8,
         }
     }
@@ -124,6 +166,10 @@ struct SendReq {
     waiter: Option<MtsTid>,
     /// Payload already carries the error-control header (a retransmission).
     prewrapped: bool,
+    /// Error-control sequence number, set when the send thread wraps a
+    /// first transmission — after the wire send it stamps `sent_at` on the
+    /// matching [`UnackedMsg`] and arms the retransmission timer.
+    seq: Option<u32>,
 }
 
 struct RecvReq {
@@ -166,6 +212,63 @@ struct MpsState {
     /// Error control: sequence numbers already delivered, per source — a
     /// retransmitted frame whose ACK was lost must not be delivered twice.
     seen_seqs: HashMap<usize, std::collections::HashSet<u32>>,
+    /// Error control: per-destination RTT estimator driving the adaptive
+    /// retransmission timeout.
+    rtt: HashMap<usize, RttEstimator>,
+    /// Destinations whose retry budget was exhausted: sends to them fail
+    /// fast with [`EXC_DELIVERY_FAILED`] instead of queueing.
+    dead_peers: std::collections::HashSet<usize>,
+    /// Statistics: timeout-driven backoff doublings.
+    backoff_events: u64,
+    /// Statistics: clean RTT samples folded into an estimator.
+    rtt_samples: u64,
+    /// Statistics: frames abandoned after the retry budget.
+    delivery_failures: u64,
+    /// Statistics: duplicate frames re-ACKed but not delivered (the
+    /// retransmitted-frame-whose-ACK-was-lost case).
+    dup_suppressed: u64,
+}
+
+/// Jacobson/Karn RTT estimation state for one destination.
+#[derive(Clone, Copy, Debug, Default)]
+struct RttEstimator {
+    srtt_ps: u64,
+    rttvar_ps: u64,
+    has_sample: bool,
+    /// Consecutive-timeout exponential-backoff exponent.
+    backoff_exp: u32,
+}
+
+impl RttEstimator {
+    /// Folds in one clean RTT sample (Jacobson's gains: 1/8 and 1/4) and
+    /// resets the backoff.
+    fn observe(&mut self, rtt: Dur) {
+        let rtt_ps = rtt.as_ps();
+        if self.has_sample {
+            let err = self.srtt_ps.abs_diff(rtt_ps);
+            self.rttvar_ps = (3 * self.rttvar_ps + err) / 4;
+            self.srtt_ps = (7 * self.srtt_ps + rtt_ps) / 8;
+        } else {
+            self.srtt_ps = rtt_ps;
+            self.rttvar_ps = rtt_ps / 2;
+            self.has_sample = true;
+        }
+        self.backoff_exp = 0;
+    }
+
+    /// The current timeout: `SRTT + 4·RTTVAR` (or the configured initial
+    /// value before any sample), clamped to `[min, max]`, then doubled per
+    /// outstanding backoff step, capped at `max`.
+    fn rto(&self, cfg: &RtoConfig) -> Dur {
+        let base_ps = if self.has_sample {
+            self.srtt_ps.saturating_add(4 * self.rttvar_ps)
+        } else {
+            cfg.initial.as_ps()
+        };
+        let clamped = base_ps.clamp(cfg.min.as_ps(), cfg.max.as_ps());
+        let backed = clamped.saturating_mul(1u64 << self.backoff_exp.min(20));
+        Dur::from_ps(backed.min(cfg.max.as_ps()))
+    }
 }
 
 struct UnackedMsg {
@@ -176,6 +279,11 @@ struct UnackedMsg {
     wrapped: Bytes,
     /// Timeout-driven retransmissions so far.
     retries: u32,
+    /// When the frame first hit the wire (None until transmitted).
+    sent_at: Option<SimTime>,
+    /// The frame has been retransmitted at least once; Karn's rule bars
+    /// its ACK from RTT sampling (the echo is ambiguous).
+    retransmitted: bool,
 }
 
 struct UserThread {
@@ -204,6 +312,57 @@ struct ProcInner {
 
 /// Callback invoked for incoming exceptions.
 pub type ExceptionHandler = Box<dyn Fn(&NcsException) + Send + 'static>;
+
+/// Error-control statistics for one process (the FaultStats surface of the
+/// reliability layer): aggregate counters plus the current per-destination
+/// RTO trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorStats {
+    /// Frames retransmitted (timeout- and NACK-driven).
+    pub retransmits: u64,
+    /// Timeout events that doubled a destination's RTO.
+    pub backoff_events: u64,
+    /// Clean RTT samples folded into an estimator (Karn-filtered).
+    pub rtt_samples: u64,
+    /// Frames abandoned after exhausting the retry budget.
+    pub delivery_failures: u64,
+    /// Duplicate frames re-ACKed but not delivered (retransmissions whose
+    /// original already arrived — i.e. the ACK, not the data, was lost).
+    pub duplicates_suppressed: u64,
+    /// Destinations declared dead (retry budget exhausted).
+    pub dead_peers: Vec<usize>,
+    /// Per-destination estimator snapshot, sorted by peer id.
+    pub peers: Vec<PeerRto>,
+}
+
+/// One destination's RTT/RTO estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerRto {
+    /// Destination process id.
+    pub peer: usize,
+    /// Smoothed round-trip time (zero before the first sample).
+    pub srtt: Dur,
+    /// Round-trip time variance estimate.
+    pub rttvar: Dur,
+    /// The timeout the next transmission to this peer would get.
+    pub rto: Dur,
+}
+
+/// Delivers an exception to the local handler, or buffers it for later.
+fn raise_local_exception(inner: &ProcInner, exc: NcsException) {
+    let handled = {
+        let h = inner.exception_handler.lock();
+        if let Some(h) = h.as_ref() {
+            h(&exc);
+            true
+        } else {
+            false
+        }
+    };
+    if !handled {
+        inner.pending_exceptions.lock().push(exc);
+    }
+}
 
 /// A cross-process exception notification (the paper's exception-handling
 /// service class).
@@ -280,6 +439,12 @@ impl NcsProc {
                 retransmits: 0,
                 next_req_id: 0,
                 seen_seqs: HashMap::new(),
+                rtt: HashMap::new(),
+                dead_peers: std::collections::HashSet::new(),
+                backoff_events: 0,
+                rtt_samples: 0,
+                delivery_failures: 0,
+                dup_suppressed: 0,
             }),
             sys: Mutex::new(SysThreads::default()),
             users: Mutex::new(Vec::new()),
@@ -454,6 +619,39 @@ impl NcsProc {
         self.inner.state.lock().retransmits
     }
 
+    /// Full error-control statistics: retransmit/backoff/sample counters
+    /// and the per-destination SRTT/RTTVAR/RTO trajectory.
+    pub fn error_stats(&self) -> ErrorStats {
+        let st = self.inner.state.lock();
+        let mut dead: Vec<usize> = st.dead_peers.iter().copied().collect();
+        dead.sort_unstable();
+        let mut peers: Vec<PeerRto> = st
+            .rtt
+            .iter()
+            .map(|(&peer, e)| PeerRto {
+                peer,
+                srtt: Dur::from_ps(e.srtt_ps),
+                rttvar: Dur::from_ps(e.rttvar_ps),
+                rto: e.rto(&self.inner.cfg.rto),
+            })
+            .collect();
+        peers.sort_unstable_by_key(|p| p.peer);
+        ErrorStats {
+            retransmits: st.retransmits,
+            backoff_events: st.backoff_events,
+            rtt_samples: st.rtt_samples,
+            delivery_failures: st.delivery_failures,
+            duplicates_suppressed: st.dup_suppressed,
+            dead_peers: dead,
+            peers,
+        }
+    }
+
+    /// Whether error control has declared `peer` dead (sends fail fast).
+    pub fn is_peer_dead(&self, peer: usize) -> bool {
+        self.inner.state.lock().dead_peers.contains(&peer)
+    }
+
     /// High-water mark of messages buffered in this process awaiting a
     /// matching receive (the flow-control ablation's figure of merit).
     pub fn peak_buffered(&self) -> usize {
@@ -495,23 +693,14 @@ impl NcsProc {
     /// space, so "the B matrix is sent to a particular node only once").
     fn deliver_local(&self, msg: NcsMsg) {
         if msg.class == MsgClass::Exception {
-            let exc = NcsException {
-                from: msg.from,
-                code: msg.tag,
-                detail: msg.data,
-            };
-            let handled = {
-                let h = self.inner.exception_handler.lock();
-                if let Some(h) = h.as_ref() {
-                    h(&exc);
-                    true
-                } else {
-                    false
-                }
-            };
-            if !handled {
-                self.inner.pending_exceptions.lock().push(exc);
-            }
+            raise_local_exception(
+                &self.inner,
+                NcsException {
+                    from: msg.from,
+                    code: msg.tag,
+                    detail: msg.data,
+                },
+            );
             return;
         }
         let mut st = self.inner.state.lock();
@@ -609,6 +798,18 @@ impl NcsCtx<'_> {
                 data,
                 class,
             });
+        } else if self.proc.inner.state.lock().dead_peers.contains(&to.proc) {
+            // Error control exhausted its retries on this destination:
+            // fail fast with the delivery-failure exception instead of
+            // queueing a transfer that can never complete.
+            raise_local_exception(
+                &self.proc.inner,
+                NcsException {
+                    from: to,
+                    code: EXC_DELIVERY_FAILED,
+                    detail: Bytes::from(tag.to_le_bytes().to_vec()),
+                },
+            );
         } else {
             let send_tid = {
                 let mut st = self.proc.inner.state.lock();
@@ -621,6 +822,7 @@ impl NcsCtx<'_> {
                     tier,
                     waiter: Some(self.mctx.tid()),
                     prewrapped: false,
+                    seq: None,
                 });
                 self.proc
                     .inner
@@ -952,35 +1154,61 @@ fn unwrap_checked(b: &Bytes) -> (u32, Result<Bytes, ()>) {
     }
 }
 
-/// Arms (or re-arms) the loss-recovery timer for one unacknowledged frame.
+/// The timeout the next (re)transmission to `dst` should get, from its
+/// estimator state (or the configured initial value before any sample).
+fn current_rto(st: &MpsState, cfg: &RtoConfig, dst: usize) -> Dur {
+    st.rtt.get(&dst).copied().unwrap_or_default().rto(cfg)
+}
+
+/// Arms (or re-arms) the loss-recovery timer for one unacknowledged frame,
+/// using the destination's current adaptive RTO.
 fn arm_retx_timer(inner: &Arc<ProcInner>, dst: usize, seq: u32) {
+    let timeout = {
+        let st = inner.state.lock();
+        current_rto(&st, &inner.cfg.rto, dst)
+    };
     let inner = Arc::clone(inner);
-    let timeout = inner.cfg.retx_timeout;
     inner.sim.clone().schedule_in(timeout, move |sim| {
         retx_fire(&inner, sim, dst, seq);
     });
 }
 
-/// Timer expiry: retransmit if still unacknowledged, give up after the
-/// retry budget (raising a local delivery-failure exception).
+/// Timer expiry: retransmit (with exponential RTO backoff) if still
+/// unacknowledged; after the retry budget, declare the peer dead, fail
+/// every outstanding frame toward it, and raise delivery-failure
+/// exceptions — a send to a crashed node must not hang the scheduler.
 fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
     enum Action {
         Done,
         Retry,
-        GiveUp(ThreadAddr, u32),
+        GiveUp(Vec<(ThreadAddr, u32)>),
     }
     let action = {
         let mut st = inner.state.lock();
         match st.unacked.get_mut(&(dst, seq)) {
             None => Action::Done, // acknowledged in the meantime
             Some(u) if u.retries >= inner.cfg.max_retries => {
-                let to = u.to;
-                let tag = u.user_tag;
-                st.unacked.remove(&(dst, seq));
-                Action::GiveUp(to, tag)
+                st.dead_peers.insert(dst);
+                let keys: Vec<(usize, u32)> = st
+                    .unacked
+                    .keys()
+                    .filter(|&&(d, _)| d == dst)
+                    .copied()
+                    .collect();
+                let mut failed = Vec::with_capacity(keys.len());
+                for k in keys {
+                    let u = st.unacked.remove(&k).expect("key just listed");
+                    failed.push((u.to, u.user_tag));
+                }
+                st.delivery_failures += failed.len() as u64;
+                if st.send_waiting_credit == Some(dst) {
+                    st.send_waiting_credit = None;
+                }
+                Action::GiveUp(failed)
             }
             Some(u) => {
                 u.retries += 1;
+                u.retransmitted = true; // Karn: its ACK is now ambiguous
                 let req = SendReq {
                     from_thread: u.from_thread,
                     to: u.to,
@@ -990,8 +1218,11 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                     tier: u.tier,
                     waiter: None,
                     prewrapped: true,
+                    seq: None,
                 };
                 st.retransmits += 1;
+                st.backoff_events += 1;
+                st.rtt.entry(dst).or_default().backoff_exp += 1;
                 st.send_q.push_back(req);
                 Action::Retry
             }
@@ -1003,39 +1234,31 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
             if let Some(tid) = inner.sys.lock().send {
                 inner.mts.unblock(sim, tid);
             }
+            // Re-arm with the doubled timeout.
             arm_retx_timer(inner, dst, seq);
         }
-        Action::GiveUp(to, tag) => {
-            // Deliver the failure to the local exception service.
-            let exc = NcsException {
-                from: to,
-                code: EXC_DELIVERY_FAILED,
-                detail: Bytes::from(tag.to_le_bytes().to_vec()),
-            };
-            let handled = {
-                let h = inner.exception_handler.lock();
-                if let Some(h) = h.as_ref() {
-                    h(&exc);
-                    true
-                } else {
-                    false
-                }
-            };
-            if !handled {
-                inner.pending_exceptions.lock().push(exc);
+        Action::GiveUp(failed) => {
+            for (to, tag) in failed {
+                raise_local_exception(
+                    inner,
+                    NcsException {
+                        from: to,
+                        code: EXC_DELIVERY_FAILED,
+                        detail: Bytes::from(tag.to_le_bytes().to_vec()),
+                    },
+                );
             }
-            // Shutdown may have been waiting on this frame.
+            // Wake the send thread unconditionally: it may be parked on
+            // credits for the dead peer, or draining for shutdown.
+            if let Some(tid) = inner.sys.lock().send {
+                inner.mts.unblock(sim, tid);
+            }
             let (empty, shutdown) = {
                 let st = inner.state.lock();
                 (st.unacked.is_empty(), st.shutdown)
             };
-            if empty {
-                if let Some(tid) = inner.sys.lock().send {
-                    inner.mts.unblock(sim, tid);
-                }
-                if shutdown {
-                    inner.merged.close(sim);
-                }
+            if empty && shutdown {
+                inner.merged.close(sim);
             }
         }
     }
@@ -1061,6 +1284,27 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             m.block(); // woken by NCS_send (or shutdown / final ack)
             continue;
         };
+        // Queued frames toward a peer already declared dead fail here
+        // rather than burning a fresh retry budget each. A prewrapped frame
+        // is a retransmission whose give-up purge already raised the
+        // exception, so it is dropped silently.
+        if req.class == MsgClass::Data && inner.state.lock().dead_peers.contains(&req.to.proc) {
+            if !req.prewrapped {
+                raise_local_exception(
+                    inner,
+                    NcsException {
+                        from: req.to,
+                        code: EXC_DELIVERY_FAILED,
+                        detail: Bytes::from(req.user_tag.to_le_bytes().to_vec()),
+                    },
+                );
+                inner.state.lock().delivery_failures += 1;
+            }
+            if let Some(w) = req.waiter {
+                m.unblock(w);
+            }
+            continue;
+        }
         // Error control: frame data messages with a sequence number and
         // checksum, keeping a copy for retransmission until acknowledged.
         if inner.cfg.error == ErrorControl::ChecksumRetransmit
@@ -1084,33 +1328,52 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                     tier: req.tier,
                     wrapped: wrapped.clone(),
                     retries: 0,
+                    sent_at: None,
+                    retransmitted: false,
                 },
             );
             drop(st);
-            arm_retx_timer(inner, req.to.proc, seq);
+            req.seq = Some(seq);
             req.data = wrapped;
         }
         // Credit flow control gates only application data.
+        let mut peer_died_waiting = false;
         if req.class == MsgClass::Data {
             if let FlowControl::Credit { .. } = inner.cfg.flow {
                 loop {
                     let ok = {
                         let mut st = inner.state.lock();
-                        let c = st.credits.entry(req.to.proc).or_insert(0);
-                        if *c > 0 {
-                            *c -= 1;
+                        if st.dead_peers.contains(&req.to.proc) {
+                            // The retry path declared the peer dead while we
+                            // were parked; credits will never arrive.
+                            st.send_waiting_credit = None;
+                            peer_died_waiting = true;
                             true
                         } else {
-                            st.send_waiting_credit = Some(req.to.proc);
-                            false
+                            let c = st.credits.entry(req.to.proc).or_insert(0);
+                            if *c > 0 {
+                                *c -= 1;
+                                true
+                            } else {
+                                st.send_waiting_credit = Some(req.to.proc);
+                                false
+                            }
                         }
                     };
                     if ok {
                         break;
                     }
-                    m.block(); // woken when credits arrive
+                    m.block(); // woken when credits arrive (or the peer dies)
                 }
             }
+        }
+        if peer_died_waiting {
+            // Its unacked entry (if any) was already purged and reported by
+            // the give-up path; only unblock the waiting sender.
+            if let Some(w) = req.waiter {
+                m.unblock(w);
+            }
+            continue;
         }
         let net = &inner.nets[req.tier];
         let tag = encode_tag(req.class, req.from_thread, req.to.thread, req.user_tag);
@@ -1122,6 +1385,20 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             tag,
             req.data,
         );
+        // First transmission of a checked frame: stamp the RTT clock and arm
+        // the loss-recovery timer with the destination's current RTO.
+        // Retransmissions are re-armed by `retx_fire` itself.
+        if let Some(seq) = req.seq {
+            {
+                let mut st = inner.state.lock();
+                if let Some(u) = st.unacked.get_mut(&(req.to.proc, seq)) {
+                    if u.sent_at.is_none() {
+                        u.sent_at = Some(m.ctx().now());
+                    }
+                }
+            }
+            arm_retx_timer(inner, req.to.proc, seq);
+        }
         if req.class == MsgClass::Data {
             inner.state.lock().sent_msgs += 1;
         }
@@ -1208,6 +1485,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                         tier,
                         waiter: None,
                         prewrapped: false,
+                        seq: None,
                     });
                     true
                 } else {
@@ -1249,6 +1527,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                 tier,
                 waiter: None,
                 prewrapped: false,
+                seq: None,
             });
         }
         if let Some(tid) = inner.sys.lock().send {
@@ -1258,6 +1537,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             return; // drop the corrupted frame; the sender retransmits
         }
         if duplicate {
+            inner.state.lock().dup_suppressed += 1;
             return; // re-ACKed above; already delivered once
         }
     }
@@ -1266,7 +1546,21 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             let seq = user_tag;
             let (empty_after, shutdown) = {
                 let mut st = inner.state.lock();
-                st.unacked.remove(&(from.proc, seq));
+                if let Some(u) = st.unacked.remove(&(from.proc, seq)) {
+                    if !u.retransmitted {
+                        // Karn's rule: only frames never retransmitted give
+                        // unambiguous round-trip samples.
+                        if let Some(sent) = u.sent_at {
+                            let rtt = m.ctx().now().since(sent);
+                            st.rtt.entry(from.proc).or_default().observe(rtt);
+                            st.rtt_samples += 1;
+                        }
+                    } else {
+                        // The retransmission got through: stop backing off,
+                        // but discard the ambiguous timing.
+                        st.rtt.entry(from.proc).or_default().backoff_exp = 0;
+                    }
+                }
                 (st.unacked.is_empty(), st.shutdown)
             };
             if empty_after {
@@ -1281,16 +1575,20 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
         MsgClass::Nack => {
             let seq = user_tag;
             let resend = {
-                let st = inner.state.lock();
-                st.unacked.get(&(from.proc, seq)).map(|u| SendReq {
-                    from_thread: u.from_thread,
-                    to: u.to,
-                    class: MsgClass::Data,
-                    user_tag: u.user_tag,
-                    data: u.wrapped.clone(),
-                    tier: u.tier,
-                    waiter: None,
-                    prewrapped: true,
+                let mut st = inner.state.lock();
+                st.unacked.get_mut(&(from.proc, seq)).map(|u| {
+                    u.retransmitted = true; // Karn: timing now ambiguous
+                    SendReq {
+                        from_thread: u.from_thread,
+                        to: u.to,
+                        class: MsgClass::Data,
+                        user_tag: u.user_tag,
+                        data: u.wrapped.clone(),
+                        tier: u.tier,
+                        waiter: None,
+                        prewrapped: true,
+                        seq: None,
+                    }
                 })
             };
             if let Some(req) = resend {
@@ -1304,23 +1602,14 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             }
         }
         MsgClass::Exception => {
-            let exc = NcsException {
-                from,
-                code: user_tag,
-                detail: payload,
-            };
-            let handled = {
-                let h = inner.exception_handler.lock();
-                if let Some(h) = h.as_ref() {
-                    h(&exc);
-                    true
-                } else {
-                    false
-                }
-            };
-            if !handled {
-                inner.pending_exceptions.lock().push(exc);
-            }
+            raise_local_exception(
+                inner,
+                NcsException {
+                    from,
+                    code: user_tag,
+                    detail: payload,
+                },
+            );
         }
         MsgClass::Credit => {
             let wake = {
@@ -1347,5 +1636,84 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             });
             st.peak_stash = st.peak_stash.max(st.stash.len());
         }
+    }
+}
+
+#[cfg(test)]
+mod rto_tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_seeds_estimator() {
+        let cfg = RtoConfig {
+            initial: Dur::from_millis(500),
+            min: Dur::from_millis(1),
+            max: Dur::from_secs(4),
+        };
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(&cfg), cfg.initial, "no sample yet: initial RTO");
+        e.observe(Dur::from_millis(40));
+        // SRTT = 40 ms, RTTVAR = 20 ms, RTO = 40 + 4*20 = 120 ms.
+        assert_eq!(e.rto(&cfg), Dur::from_millis(120));
+    }
+
+    #[test]
+    fn smoothing_follows_jacobson_gains() {
+        let cfg = RtoConfig::default();
+        let mut e = RttEstimator::default();
+        e.observe(Dur::from_millis(40));
+        e.observe(Dur::from_millis(80));
+        // SRTT = 40 + (80-40)/8 = 45 ms; RTTVAR = 20 + (40-20)/4 = 25 ms.
+        assert_eq!(e.srtt_ps, Dur::from_millis(45).as_ps());
+        assert_eq!(e.rttvar_ps, Dur::from_millis(25).as_ps());
+        assert_eq!(e.rto(&cfg), Dur::from_millis(145));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_at_max() {
+        let cfg = RtoConfig {
+            initial: Dur::from_millis(100),
+            min: Dur::from_millis(10),
+            max: Dur::from_millis(350),
+        };
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(&cfg), Dur::from_millis(100));
+        e.backoff_exp = 1;
+        assert_eq!(e.rto(&cfg), Dur::from_millis(200));
+        e.backoff_exp = 2; // 400 ms, over the ceiling
+        assert_eq!(e.rto(&cfg), Dur::from_millis(350));
+        e.backoff_exp = 63; // shift capped internally, no overflow
+        assert_eq!(e.rto(&cfg), Dur::from_millis(350));
+    }
+
+    #[test]
+    fn fresh_sample_resets_backoff() {
+        let cfg = RtoConfig::default();
+        let mut e = RttEstimator::default();
+        e.observe(Dur::from_millis(20));
+        e.backoff_exp = 5;
+        e.observe(Dur::from_millis(20));
+        assert_eq!(e.backoff_exp, 0);
+        assert_eq!(e.rto(&cfg), e.rto(&cfg).min(cfg.max));
+    }
+
+    #[test]
+    fn rto_respects_floor() {
+        let cfg = RtoConfig {
+            initial: Dur::from_millis(100),
+            min: Dur::from_millis(50),
+            max: Dur::from_secs(1),
+        };
+        let mut e = RttEstimator::default();
+        e.observe(Dur::from_micros(10)); // tiny RTT: raw RTO ~30 us
+        assert_eq!(e.rto(&cfg), cfg.min);
+    }
+
+    #[test]
+    fn from_base_scales_all_three_knobs() {
+        let r = RtoConfig::from_base(Dur::from_millis(20));
+        assert_eq!(r.initial, Dur::from_millis(20));
+        assert_eq!(r.min, Dur::from_millis(5));
+        assert_eq!(r.max, Dur::from_millis(320));
     }
 }

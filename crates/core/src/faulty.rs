@@ -12,18 +12,23 @@ use ncs_net::stack::WaitPolicy;
 use ncs_net::{Delivery, HostParams, Network, NodeId};
 use ncs_sim::{Ctx, Dur, SimChannel, SimRng};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A transport decorator that corrupts one payload byte with probability
 /// `p_corrupt`, and silently discards whole messages with probability
 /// `p_drop`, per message. Deterministic under a fixed seed.
+///
+/// Faults are rolled per *transmission*, not per logical message: a
+/// retransmission of the same frame draws fresh luck, which is what makes
+/// timeout-driven recovery converge under partial loss.
 pub struct FaultyNet {
     inner: Arc<dyn Network>,
     p_corrupt: f64,
     p_drop: f64,
     rng: Mutex<SimRng>,
-    corrupted: Mutex<u64>,
-    dropped: Mutex<u64>,
+    corrupted: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl FaultyNet {
@@ -41,19 +46,19 @@ impl FaultyNet {
             p_corrupt,
             p_drop,
             rng: Mutex::new(SimRng::new(seed)),
-            corrupted: Mutex::new(0),
-            dropped: Mutex::new(0),
+            corrupted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
     /// Messages corrupted so far.
     pub fn corrupted_count(&self) -> u64 {
-        *self.corrupted.lock()
+        self.corrupted.load(Ordering::Relaxed)
     }
 
     /// Messages silently discarded so far.
     pub fn dropped_count(&self) -> u64 {
-        *self.dropped.lock()
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -83,7 +88,7 @@ impl Network for FaultyNet {
                 // skipped with it — loss is rare enough that the timing
                 // error is negligible, and the protocol-level consequences
                 // (timeout, retransmit) are what the tests exercise.
-                *self.dropped.lock() += 1;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -93,7 +98,7 @@ impl Network for FaultyNet {
                 let mut v = payload.to_vec();
                 let idx = rng.gen_index(v.len());
                 v[idx] ^= 0x40;
-                *self.corrupted.lock() += 1;
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
                 Bytes::from(v)
             } else {
                 payload
@@ -108,6 +113,12 @@ impl Network for FaultyNet {
 
     fn recv_pickup_cost(&self, node: NodeId, bytes: usize) -> Dur {
         self.inner.recv_pickup_cost(node, bytes)
+    }
+
+    fn recv_reaction_cost(&self, node: NodeId, bytes: usize) -> Dur {
+        // Must delegate: the trait default is zero, which would silently
+        // erase the wrapped transport's blocking-receiver latency.
+        self.inner.recv_reaction_cost(node, bytes)
     }
 
     fn description(&self) -> String {
@@ -209,6 +220,46 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(1234567), "different seeds should differ");
+    }
+
+    #[test]
+    fn faults_rerolled_per_transmission() {
+        // The same frame sent repeatedly (as a retransmitting sender would)
+        // draws fresh luck each time: under p_drop = 0.5 some copies die and
+        // some survive, rather than every copy sharing one verdict.
+        let net = Arc::new(FaultyNet::with_loss(base_net(2), 0.0, 0.5, 42));
+        let sim = Sim::new();
+        let n2 = Arc::clone(&net);
+        const COPIES: u64 = 64;
+        sim.spawn("tx", move |ctx| {
+            for _ in 0..COPIES {
+                n2.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    7,
+                    Bytes::from_static(b"same frame"),
+                );
+            }
+        });
+        sim.run().assert_clean();
+        let dropped = net.dropped_count();
+        assert!(dropped > 0, "no copy was ever dropped");
+        assert!(dropped < COPIES, "every copy was dropped");
+    }
+
+    #[test]
+    fn reaction_cost_delegates_to_inner() {
+        let inner = base_net(2);
+        let wrapped = FaultyNet::new(Arc::clone(&inner), 0.5, 9);
+        for bytes in [0usize, 1 << 10, 1 << 20] {
+            assert_eq!(
+                wrapped.recv_reaction_cost(NodeId(1), bytes),
+                inner.recv_reaction_cost(NodeId(1), bytes),
+                "reaction cost must pass through for {bytes} bytes"
+            );
+        }
     }
 
     #[test]

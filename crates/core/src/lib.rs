@@ -36,7 +36,7 @@ pub mod world;
 
 pub use addr::{MsgClass, ThreadAddr};
 pub use env::{
-    ErrorControl, FlowControl, NcsConfig, NcsCtx, NcsException, NcsMsg, NcsProc,
-    EXC_DELIVERY_FAILED,
+    ErrorControl, ErrorStats, FlowControl, NcsConfig, NcsCtx, NcsException, NcsMsg, NcsProc,
+    PeerRto, RtoConfig, EXC_DELIVERY_FAILED,
 };
 pub use world::NcsWorld;

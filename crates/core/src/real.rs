@@ -33,6 +33,78 @@ use std::time::{Duration, Instant};
 
 use crate::addr::{decode_tag, encode_tag, MsgClass, ThreadAddr};
 
+/// Errors from the real-TCP backend, separating transport failures from
+/// protocol violations so callers can react (retry, drop a peer, abort)
+/// instead of unwinding on an `unwrap`.
+#[derive(Debug)]
+pub enum RealError {
+    /// An underlying socket operation failed.
+    Io(io::Error),
+    /// Dialing a peer did not succeed within the mesh-formation timeout.
+    DialTimedOut {
+        /// Rank that could not be reached.
+        peer: usize,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last connect error observed.
+        last: io::Error,
+    },
+    /// A peer violated the mesh handshake (bad or duplicate rank
+    /// announcement).
+    Handshake(String),
+    /// No connection to the addressed peer exists (it was never part of
+    /// the mesh, or its rank is out of range).
+    NotConnected {
+        /// The unreachable rank.
+        peer: usize,
+    },
+    /// Every peer has disconnected while no matching message is buffered.
+    AllPeersDisconnected,
+}
+
+impl std::fmt::Display for RealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RealError::Io(e) => write!(f, "I/O error: {e}"),
+            RealError::DialTimedOut {
+                peer,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "timed out dialing rank {peer} after {attempts} attempts: {last}"
+            ),
+            RealError::Handshake(msg) => write!(f, "mesh handshake violation: {msg}"),
+            RealError::NotConnected { peer } => write!(f, "no connection to rank {peer}"),
+            RealError::AllPeersDisconnected => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RealError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RealError::Io(e) | RealError::DialTimedOut { last: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RealError {
+    fn from(e: io::Error) -> RealError {
+        RealError::Io(e)
+    }
+}
+
+/// Result type of the real-TCP backend.
+pub type RealResult<T> = Result<T, RealError>;
+
+/// First delay between connect attempts while the mesh forms; doubles per
+/// failure up to [`DIAL_BACKOFF_MAX`].
+const DIAL_BACKOFF_START: Duration = Duration::from_millis(10);
+/// Ceiling for the connect-retry backoff.
+const DIAL_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
 /// A received message.
 #[derive(Clone, Debug)]
 pub struct RealMsg {
@@ -76,16 +148,20 @@ impl RealNcs {
     /// listens on `addrs[id]`, connects to every lower rank, accepts from
     /// every higher rank. All processes must call this with the same
     /// address list; the call returns once the mesh is complete.
-    pub fn connect(id: usize, addrs: &[SocketAddr]) -> io::Result<RealNcs> {
+    pub fn connect(id: usize, addrs: &[SocketAddr]) -> RealResult<RealNcs> {
         Self::connect_timeout(id, addrs, Duration::from_secs(30))
     }
 
     /// [`RealNcs::connect`] with an explicit mesh-formation timeout.
+    ///
+    /// Dial attempts toward not-yet-listening peers are retried with
+    /// exponential backoff (starting at 10 ms, capped at 500 ms) until the
+    /// timeout elapses, then fail with [`RealError::DialTimedOut`].
     pub fn connect_timeout(
         id: usize,
         addrs: &[SocketAddr],
         timeout: Duration,
-    ) -> io::Result<RealNcs> {
+    ) -> RealResult<RealNcs> {
         let n = addrs.len();
         assert!(id < n, "rank out of range");
         let deadline = Instant::now() + timeout;
@@ -95,17 +171,24 @@ impl RealNcs {
         // Deterministic mesh: dial lower ranks (retrying until they are
         // up), accept higher ranks. Each dialer announces its rank.
         for peer in 0..id {
+            let mut backoff = DIAL_BACKOFF_START;
+            let mut attempts = 0u32;
             let stream = loop {
+                attempts += 1;
                 match TcpStream::connect(addrs[peer]) {
                     Ok(s) => break s,
                     Err(e) => {
                         if Instant::now() > deadline {
-                            return Err(io::Error::new(
-                                io::ErrorKind::TimedOut,
-                                format!("timed out dialing rank {peer}: {e}"),
-                            ));
+                            return Err(RealError::DialTimedOut {
+                                peer,
+                                attempts,
+                                last: e,
+                            });
                         }
-                        std::thread::sleep(Duration::from_millis(20));
+                        std::thread::sleep(backoff.min(deadline.saturating_duration_since(
+                            Instant::now(),
+                        )));
+                        backoff = (backoff * 2).min(DIAL_BACKOFF_MAX);
                     }
                 }
             };
@@ -121,10 +204,9 @@ impl RealNcs {
             s.read_exact(&mut rank_buf)?;
             let peer = u32::from_le_bytes(rank_buf) as usize;
             if peer <= id || peer >= n || streams[peer].is_some() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected rank announcement {peer}"),
-                ));
+                return Err(RealError::Handshake(format!(
+                    "unexpected rank announcement {peer}"
+                )));
             }
             streams[peer] = Some(s);
         }
@@ -147,8 +229,7 @@ impl RealNcs {
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("ncs-real-rx-{id}-from-{peer}"))
-                    .spawn(move || reader_loop(reader, peer, shared2))
-                    .expect("spawn reader"),
+                    .spawn(move || reader_loop(reader, peer, shared2))?,
             );
         }
         Ok(RealNcs {
@@ -172,7 +253,7 @@ impl RealNcs {
 
     /// Sends `data` from local thread `from_thread` to endpoint `to`.
     /// Thread-safe: concurrent senders serialize per destination socket.
-    pub fn send(&self, from_thread: u32, to: ThreadAddr, tag: u32, data: &[u8]) -> io::Result<()> {
+    pub fn send(&self, from_thread: u32, to: ThreadAddr, tag: u32, data: &[u8]) -> RealResult<()> {
         self.send_class(MsgClass::Data, from_thread, to, tag, data)
     }
 
@@ -183,8 +264,10 @@ impl RealNcs {
         to: ThreadAddr,
         tag: u32,
         data: &[u8],
-    ) -> io::Result<()> {
-        assert!(to.proc < self.n, "destination out of range");
+    ) -> RealResult<()> {
+        if to.proc >= self.n {
+            return Err(RealError::NotConnected { peer: to.proc });
+        }
         if to.proc == self.id {
             // Local delivery (threads share the address space).
             let mut st = self.shared.stash.lock();
@@ -199,7 +282,7 @@ impl RealNcs {
         }
         let writer = self.writers[to.proc]
             .as_ref()
-            .expect("no connection to peer");
+            .ok_or(RealError::NotConnected { peer: to.proc })?;
         let wire_tag = encode_tag(class, from_thread, to.thread, tag);
         let mut w = writer.lock();
         w.write_all(&FRAME_MAGIC.to_le_bytes())?;
@@ -218,7 +301,7 @@ impl RealNcs {
         from_proc: Option<usize>,
         from_thread: Option<u32>,
         tag: Option<u32>,
-    ) -> io::Result<RealMsg> {
+    ) -> RealResult<RealMsg> {
         self.recv_to(None, from_proc, from_thread, tag)
     }
 
@@ -230,7 +313,7 @@ impl RealNcs {
         from_proc: Option<usize>,
         from_thread: Option<u32>,
         tag: Option<u32>,
-    ) -> io::Result<RealMsg> {
+    ) -> RealResult<RealMsg> {
         let mut st = self.shared.stash.lock();
         loop {
             let pos = st.msgs.iter().position(|m| {
@@ -240,13 +323,10 @@ impl RealNcs {
                     && tag.is_none_or(|t| t == m.tag)
             });
             if let Some(pos) = pos {
-                return Ok(st.msgs.remove(pos).unwrap());
+                return Ok(st.msgs.remove(pos).expect("position just found"));
             }
             if st.dead_peers == st.n_peers {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "all peers disconnected",
-                ));
+                return Err(RealError::AllPeersDisconnected);
             }
             self.shared.cv.wait(&mut st);
         }
@@ -269,7 +349,7 @@ impl RealNcs {
     }
 
     /// Sends to every other process's thread 0.
-    pub fn bcast(&self, from_thread: u32, tag: u32, data: &[u8]) -> io::Result<()> {
+    pub fn bcast(&self, from_thread: u32, tag: u32, data: &[u8]) -> RealResult<()> {
         for p in 0..self.n {
             if p != self.id {
                 self.send(from_thread, ThreadAddr::new(p, 0), tag, data)?;
@@ -279,7 +359,7 @@ impl RealNcs {
     }
 
     /// Global barrier over all processes (rank 0 collects and releases).
-    pub fn barrier(&self) -> io::Result<()> {
+    pub fn barrier(&self) -> RealResult<()> {
         const TAG_ARRIVE: u32 = u32::MAX - 1;
         const TAG_GO: u32 = u32::MAX;
         if self.n == 1 {
@@ -495,6 +575,47 @@ mod tests {
             Ok(n1) => n1.shutdown(),
             Err(_) => panic!("receiver still holds the endpoint"),
         }
+    }
+
+    #[test]
+    fn dial_timeout_is_typed_and_backed_off() {
+        // Nobody listens on rank 0's address (free_addrs released it), so
+        // rank 1's dial loop retries with backoff until the deadline.
+        let addrs = free_addrs(2);
+        match RealNcs::connect_timeout(1, &addrs, Duration::from_millis(200)) {
+            Err(RealError::DialTimedOut { peer, attempts, .. }) => {
+                assert_eq!(peer, 0);
+                assert!(attempts >= 2, "expected retries, got {attempts}");
+            }
+            Err(other) => panic!("expected DialTimedOut, got {other}"),
+            Ok(_) => panic!("mesh cannot form without rank 0"),
+        }
+    }
+
+    #[test]
+    fn send_to_unknown_rank_is_typed() {
+        let mut nodes = mesh(2);
+        let n1 = nodes.pop().unwrap();
+        let n0 = nodes.pop().unwrap();
+        match n0.send(0, ThreadAddr::new(5, 0), 1, b"x") {
+            Err(RealError::NotConnected { peer: 5 }) => {}
+            other => panic!("expected NotConnected, got {other:?}"),
+        }
+        n0.shutdown();
+        n1.shutdown();
+    }
+
+    #[test]
+    fn recv_after_all_peers_gone_is_typed() {
+        let mut nodes = mesh(2);
+        let n1 = nodes.pop().unwrap();
+        let n0 = nodes.pop().unwrap();
+        n1.shutdown();
+        match n0.recv(Some(1), None, None) {
+            Err(RealError::AllPeersDisconnected) => {}
+            other => panic!("expected AllPeersDisconnected, got {other:?}"),
+        }
+        n0.shutdown();
     }
 
     #[test]

@@ -682,7 +682,7 @@ fn error_control_recovers_from_message_loss() {
     let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
     let cfg = NcsConfig {
         error: ErrorControl::ChecksumRetransmit,
-        retx_timeout: Dur::from_millis(20),
+        rto: ncs_core::RtoConfig::from_base(Dur::from_millis(20)),
         ..quick_cfg()
     };
     let received = Arc::new(Mutex::new(Vec::new()));
@@ -725,7 +725,7 @@ fn error_control_gives_up_and_raises_exception() {
     let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
     let cfg = NcsConfig {
         error: ErrorControl::ChecksumRetransmit,
-        retx_timeout: Dur::from_millis(10),
+        rto: ncs_core::RtoConfig::from_base(Dur::from_millis(10)),
         max_retries: 3,
         ..quick_cfg()
     };
@@ -747,6 +747,155 @@ fn error_control_gives_up_and_raises_exception() {
     let exceptions = world.procs()[0].pending_exceptions();
     assert_eq!(exceptions.len(), 1, "expected one delivery failure");
     assert_eq!(exceptions[0].code, EXC_DELIVERY_FAILED);
+    assert!(
+        world.procs()[0].is_peer_dead(1),
+        "retry exhaustion must mark the peer dead"
+    );
+    sim.finish();
+}
+
+#[test]
+fn adaptive_rto_learns_from_samples() {
+    // Clean wire: ACKs return unmolested, the estimator accumulates
+    // Karn-clean samples, and the RTO converges near SRTT + 4·RTTVAR —
+    // far below the 500 ms it would sit at with no samples.
+    let sim = Sim::new();
+    let net = fast_net(2, Dur::from_micros(10));
+    let cfg = NcsConfig {
+        error: ErrorControl::ChecksumRetransmit,
+        ..quick_cfg()
+    };
+    let world = NcsWorld::launch(&sim, vec![net], 2, cfg, |id, proc_| {
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                for i in 0..10u32 {
+                    ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(vec![i as u8; 256]));
+                }
+            } else {
+                for i in 0..10u32 {
+                    let _ = ncs.recv(Some(0), None, Some(i));
+                }
+            }
+        });
+    });
+    sim.run().assert_clean();
+    let stats = world.procs()[0].error_stats();
+    assert!(stats.rtt_samples > 0, "no RTT samples: {stats:?}");
+    assert_eq!(stats.retransmits, 0);
+    assert_eq!(stats.delivery_failures, 0);
+    assert!(stats.dead_peers.is_empty());
+    let defaults = ncs_core::RtoConfig::default();
+    let peer = stats
+        .peers
+        .iter()
+        .find(|p| p.peer == 1)
+        .expect("estimator for peer 1");
+    assert!(peer.srtt > Dur::ZERO);
+    assert!(peer.rto >= defaults.min && peer.rto <= defaults.max);
+    assert!(
+        peer.rto < defaults.initial,
+        "RTO failed to adapt below the pre-sample initial: {:?}",
+        peer.rto
+    );
+}
+
+#[test]
+fn lost_acks_never_cause_duplicate_delivery() {
+    // Property sweep: under message loss that provably eats ACKs (the
+    // receiver's duplicates_suppressed counter ticks only when a
+    // retransmission arrives for an already-delivered frame), every data
+    // message reaches the application exactly once.
+    const MSGS: u32 = 30;
+    let mut saw_ack_loss = false;
+    for seed in [3u64, 17, 41, 99, 1234, 777777] {
+        let sim = Sim::new();
+        let base = fast_net(2, Dur::from_micros(10));
+        let faulty: Arc<FaultyNet> = Arc::new(FaultyNet::with_loss(base, 0.0, 0.25, seed));
+        let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
+        let cfg = NcsConfig {
+            error: ErrorControl::ChecksumRetransmit,
+            rto: ncs_core::RtoConfig::from_base(Dur::from_millis(20)),
+            max_retries: 12,
+            ..quick_cfg()
+        };
+        let tags = Arc::new(Mutex::new(Vec::new()));
+        let t2 = Arc::clone(&tags);
+        let world = NcsWorld::launch(&sim, vec![faulty_dyn], 2, cfg, move |id, proc_| {
+            let t = Arc::clone(&t2);
+            proc_.t_create("w", 5, move |ncs| {
+                if id == 0 {
+                    for i in 0..MSGS {
+                        ncs.send(ThreadAddr::new(1, 0), i, Bytes::from(vec![i as u8; 96]));
+                    }
+                } else {
+                    // Wildcard receives: a duplicate, if one leaked through,
+                    // would consume a slot and break the multiset check.
+                    for _ in 0..MSGS {
+                        let m = ncs.recv(Some(0), None, None);
+                        assert!(m.data.iter().all(|&b| b == m.tag as u8));
+                        t.lock().push(m.tag);
+                    }
+                }
+            });
+        });
+        let out = sim.run();
+        out.assert_clean();
+        let mut got = tags.lock().clone();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            (0..MSGS).collect::<Vec<_>>(),
+            "seed {seed}: duplicate or missing delivery"
+        );
+        if world.procs()[1].error_stats().duplicates_suppressed > 0 {
+            saw_ack_loss = true;
+        }
+    }
+    assert!(
+        saw_ack_loss,
+        "sweep never exercised the lost-ACK path; pick different seeds"
+    );
+}
+
+#[test]
+fn dead_peer_sends_fail_fast() {
+    // Blackout wire. The first send exhausts its retry budget and marks
+    // the peer dead; a later send fails immediately with the same
+    // exception instead of burning a fresh budget (or hanging).
+    use ncs_core::EXC_DELIVERY_FAILED;
+    let sim = Sim::new();
+    let base = fast_net(2, Dur::from_micros(10));
+    let dead: Arc<dyn Network> = Arc::new(FaultyNet::with_loss(base, 0.0, 1.0, 11));
+    let cfg = NcsConfig {
+        error: ErrorControl::ChecksumRetransmit,
+        rto: ncs_core::RtoConfig::from_base(Dur::from_millis(10)),
+        max_retries: 3,
+        ..quick_cfg()
+    };
+    let world = NcsWorld::launch(&sim, vec![dead], 2, cfg, |id, proc_| {
+        if id == 0 {
+            proc_.t_create("sender", 5, |ncs| {
+                ncs.send(ThreadAddr::new(1, 0), 1, Bytes::from_static(b"first"));
+                // Idle past the whole retry schedule (10 + 20 + 40 + 80 ms
+                // of backed-off timeouts) so the budget is provably gone.
+                ncs.ctx().sleep(Dur::from_secs(2));
+                ncs.send(ThreadAddr::new(1, 0), 2, Bytes::from_static(b"second"));
+            });
+        }
+    });
+    let out = sim.run();
+    assert!(out.panics.is_empty(), "{:?}", out.panics);
+    assert!(world.procs()[0].is_peer_dead(1));
+    let exceptions = world.procs()[0].pending_exceptions();
+    assert_eq!(
+        exceptions.len(),
+        2,
+        "one give-up exception + one fail-fast exception: {exceptions:?}"
+    );
+    assert!(exceptions.iter().all(|e| e.code == EXC_DELIVERY_FAILED));
+    let stats = world.procs()[0].error_stats();
+    assert_eq!(stats.retransmits, 3);
+    assert!(stats.backoff_events >= 3);
     sim.finish();
 }
 

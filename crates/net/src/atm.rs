@@ -12,6 +12,7 @@
 //! bounds the error to well under a millisecond per hop.
 
 use ncs_sim::{Dur, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::aal5;
@@ -24,6 +25,18 @@ pub fn atm_wire_bytes(payload: usize) -> usize {
     aal5::cells_for_pdu(payload) * CELL_BYTES
 }
 
+/// Would queueing `wire` more bytes behind `link` at `at` overflow an
+/// output buffer of `cap` cells? `None` models an infinite buffer.
+fn output_buffer_full(link: &LinkState, at: SimTime, wire: usize, cap: Option<usize>) -> bool {
+    match cap {
+        Some(cells) => {
+            let queued = link.backlog_bytes(at) as usize / CELL_BYTES;
+            queued + wire / CELL_BYTES > cells
+        }
+        None => false,
+    }
+}
+
 /// Parameters of a single-switch ATM LAN.
 #[derive(Clone, Debug)]
 pub struct AtmLanParams {
@@ -33,6 +46,10 @@ pub struct AtmLanParams {
     pub access: LinkSpec,
     /// Fixed per-chunk latency through the switch.
     pub switch_latency: Dur,
+    /// Output-port buffer capacity in cells; a chunk that would push a
+    /// port's queue past this is dropped whole. `None` = infinite buffer
+    /// (the default, preserving lossless behaviour).
+    pub output_buffer_cells: Option<usize>,
 }
 
 impl AtmLanParams {
@@ -42,7 +59,14 @@ impl AtmLanParams {
             nodes,
             access: LinkSpec::taxi_140(),
             switch_latency: Dur::from_micros(20),
+            output_buffer_cells: None,
         }
+    }
+
+    /// Caps every switch output port at `cells` cells of buffering.
+    pub fn with_output_buffer(mut self, cells: usize) -> AtmLanParams {
+        self.output_buffer_cells = Some(cells);
+        self
     }
 }
 
@@ -54,6 +78,7 @@ pub struct AtmLanFabric {
     uplinks: Vec<Arc<LinkState>>,
     /// Switch → host direction, per host.
     downlinks: Vec<Arc<LinkState>>,
+    overflow_drops: AtomicU64,
 }
 
 impl AtmLanFabric {
@@ -67,6 +92,7 @@ impl AtmLanFabric {
             downlinks: (0..params.nodes)
                 .map(|_| LinkState::new(params.access.clone()))
                 .collect(),
+            overflow_drops: AtomicU64::new(0),
             params,
         }
     }
@@ -74,6 +100,30 @@ impl AtmLanFabric {
     /// Cells carried toward host `dst` (output-port counter).
     pub fn cells_to(&self, dst: NodeId) -> u64 {
         self.downlinks[dst.idx()].bytes_carried() / CELL_BYTES as u64
+    }
+
+    /// The host→switch link of `node`, for flap scheduling and inspection.
+    pub fn uplink(&self, node: NodeId) -> &Arc<LinkState> {
+        &self.uplinks[node.idx()]
+    }
+
+    /// The switch→host link of `node`.
+    pub fn downlink(&self, node: NodeId) -> &Arc<LinkState> {
+        &self.downlinks[node.idx()]
+    }
+
+    /// Chunks dropped to switch output-buffer overflow.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops.load(Ordering::Relaxed)
+    }
+
+    /// Chunks lost to scheduled link outages, across all links.
+    pub fn flap_losses(&self) -> u64 {
+        self.uplinks
+            .iter()
+            .chain(self.downlinks.iter())
+            .map(|l| l.flap_losses())
+            .sum()
     }
 }
 
@@ -94,10 +144,20 @@ impl Fabric for AtmLanFabric {
         let wire = atm_wire_bytes(payload_bytes);
         let up = self.uplinks[src.idx()].enqueue(depart, wire, Dur::ZERO);
         let at_switch = up.arrival + self.params.switch_latency;
-        let down = self.downlinks[dst.idx()].enqueue(at_switch, wire, Dur::ZERO);
+        let port = &self.downlinks[dst.idx()];
+        if output_buffer_full(port, at_switch, wire, self.params.output_buffer_cells) {
+            self.overflow_drops.fetch_add(1, Ordering::Relaxed);
+            return TransferTiming {
+                first_hop_done: up.end,
+                arrival: at_switch,
+                dropped: true,
+            };
+        }
+        let down = port.enqueue(at_switch, wire, Dur::ZERO);
         TransferTiming {
             first_hop_done: up.end,
             arrival: down.arrival,
+            dropped: up.lost || down.lost,
         }
     }
 
@@ -134,6 +194,9 @@ pub struct NynetParams {
     pub switch_latency: Dur,
     /// Extra one-way wide-area propagation between sites.
     pub wan_propagation: Dur,
+    /// Output-port buffer capacity in cells at every switch output (site
+    /// switches and the backbone hop). `None` = infinite (default).
+    pub output_buffer_cells: Option<usize>,
 }
 
 impl NynetParams {
@@ -149,6 +212,7 @@ impl NynetParams {
             backbone: LinkSpec::oc48(Dur::ZERO),
             switch_latency: Dur::from_micros(20),
             wan_propagation: Dur::from_millis(1),
+            output_buffer_cells: None,
         }
     }
 
@@ -158,6 +222,12 @@ impl NynetParams {
             backbone: LinkSpec::ds3(Dur::ZERO),
             ..NynetParams::nynet(nodes)
         }
+    }
+
+    /// Caps every switch output port at `cells` cells of buffering.
+    pub fn with_output_buffer(mut self, cells: usize) -> NynetParams {
+        self.output_buffer_cells = Some(cells);
+        self
     }
 
     /// Which site a node lives at.
@@ -178,6 +248,7 @@ pub struct NynetFabric {
     trunks_down: Vec<Arc<LinkState>>,
     /// Shared backbone, one direction per entry index (site-pair agnostic).
     backbone: Arc<LinkState>,
+    overflow_drops: AtomicU64,
 }
 
 impl NynetFabric {
@@ -198,6 +269,7 @@ impl NynetFabric {
                 .map(|_| LinkState::new(params.trunk.clone()))
                 .collect(),
             backbone: LinkState::new(params.backbone.clone()),
+            overflow_drops: AtomicU64::new(0),
             params,
         }
     }
@@ -205,6 +277,48 @@ impl NynetFabric {
     /// The parameter set in use.
     pub fn params(&self) -> &NynetParams {
         &self.params
+    }
+
+    /// The host→switch link of `node`, for flap scheduling and inspection.
+    pub fn uplink(&self, node: NodeId) -> &Arc<LinkState> {
+        &self.uplinks[node.idx()]
+    }
+
+    /// The switch→host link of `node`.
+    pub fn downlink(&self, node: NodeId) -> &Arc<LinkState> {
+        &self.downlinks[node.idx()]
+    }
+
+    /// Site `site`'s trunk toward the backbone.
+    pub fn trunk_up(&self, site: usize) -> &Arc<LinkState> {
+        &self.trunks_up[site]
+    }
+
+    /// Site `site`'s trunk from the backbone.
+    pub fn trunk_down(&self, site: usize) -> &Arc<LinkState> {
+        &self.trunks_down[site]
+    }
+
+    /// The shared wide-area backbone link.
+    pub fn backbone(&self) -> &Arc<LinkState> {
+        &self.backbone
+    }
+
+    /// Chunks dropped to switch output-buffer overflow.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops.load(Ordering::Relaxed)
+    }
+
+    /// Chunks lost to scheduled link outages, across all links.
+    pub fn flap_losses(&self) -> u64 {
+        self.uplinks
+            .iter()
+            .chain(self.downlinks.iter())
+            .chain(self.trunks_up.iter())
+            .chain(self.trunks_down.iter())
+            .chain(std::iter::once(&self.backbone))
+            .map(|l| l.flap_losses())
+            .sum()
     }
 }
 
@@ -224,23 +338,45 @@ impl Fabric for NynetFabric {
         assert_ne!(src, dst, "loopback does not touch the fabric");
         let wire = atm_wire_bytes(payload_bytes);
         let lat = self.params.switch_latency;
+        let cap = self.params.output_buffer_cells;
         let s_src = self.params.site_of(src);
         let s_dst = self.params.site_of(dst);
 
         let up = self.uplinks[src.idx()].enqueue(depart, wire, Dur::ZERO);
+        let mut lost = up.lost;
         let mut at = up.arrival + lat;
+        // Each switch-fed hop can overflow its output buffer; an overflow
+        // drops the chunk whole at that switch.
+        let mut hops: Vec<&Arc<LinkState>> = Vec::with_capacity(4);
         if s_src != s_dst {
-            let t_up = self.trunks_up[s_src].enqueue(at, wire, Dur::ZERO);
-            at = t_up.arrival + lat;
-            let bb = self.backbone.enqueue(at, wire, Dur::ZERO);
-            at = bb.arrival + self.params.wan_propagation + lat;
-            let t_down = self.trunks_down[s_dst].enqueue(at, wire, Dur::ZERO);
-            at = t_down.arrival + lat;
+            hops.push(&self.trunks_up[s_src]);
+            hops.push(&self.backbone);
+            hops.push(&self.trunks_down[s_dst]);
         }
-        let down = self.downlinks[dst.idx()].enqueue(at, wire, Dur::ZERO);
+        hops.push(&self.downlinks[dst.idx()]);
+        for link in hops {
+            if output_buffer_full(link, at, wire, cap) {
+                self.overflow_drops.fetch_add(1, Ordering::Relaxed);
+                return TransferTiming {
+                    first_hop_done: up.end,
+                    arrival: at,
+                    dropped: true,
+                };
+            }
+            let slot = link.enqueue(at, wire, Dur::ZERO);
+            lost |= slot.lost;
+            at = slot.arrival + lat;
+            if Arc::ptr_eq(link, &self.backbone) {
+                at = at + self.params.wan_propagation;
+            }
+        }
+        // The final hop ends at the host, not another switch: undo the
+        // trailing switch latency added in the loop.
+        let arrival = at - lat;
         TransferTiming {
             first_hop_done: up.end,
-            arrival: down.arrival,
+            arrival,
+            dropped: lost,
         }
     }
 
@@ -384,6 +520,66 @@ mod contention_tests {
         let fresh =
             NynetFabric::new(NynetParams::nynet_ds3(4)).transfer(NodeId(2), NodeId(3), 1_000, t(0));
         assert_eq!(local.arrival, fresh.arrival);
+    }
+
+    #[test]
+    fn finite_output_buffer_drops_under_fanin() {
+        // Two senders blast one destination through a 64-cell output port:
+        // the second chunk finds the port full and is dropped whole.
+        let f = AtmLanFabric::new(AtmLanParams::fore_lan(4).with_output_buffer(64));
+        let big = 14_000; // ~292 cells, far beyond the port buffer
+        let a = f.transfer(NodeId(0), NodeId(3), big, t(0));
+        let b = f.transfer(NodeId(1), NodeId(3), big, t(0));
+        assert!(!a.dropped, "first chunk finds an empty buffer");
+        assert!(b.dropped, "second chunk must overflow the port");
+        assert_eq!(f.overflow_drops(), 1);
+    }
+
+    #[test]
+    fn infinite_buffer_never_overflows() {
+        let f = AtmLanFabric::new(AtmLanParams::fore_lan(4));
+        for _ in 0..20 {
+            let tt = f.transfer(NodeId(0), NodeId(3), 14_000, t(0));
+            assert!(!tt.dropped);
+        }
+        assert_eq!(f.overflow_drops(), 0);
+    }
+
+    #[test]
+    fn lan_flap_on_uplink_drops_chunk() {
+        let f = AtmLanFabric::new(AtmLanParams::fore_lan(4));
+        f.uplink(NodeId(0)).schedule_flap(t(0), t(10));
+        let tt = f.transfer(NodeId(0), NodeId(1), 40, t(0));
+        assert!(tt.dropped);
+        assert_eq!(f.flap_losses(), 1);
+        // Traffic from an unaffected host is clean.
+        let ok = f.transfer(NodeId(2), NodeId(1), 40, t(0));
+        assert!(!ok.dropped);
+    }
+
+    #[test]
+    fn wan_backbone_flap_only_hits_cross_site_traffic() {
+        let f = NynetFabric::new(NynetParams::nynet(4));
+        f.backbone().schedule_flap(t(0), t(100_000));
+        let local = f.transfer(NodeId(0), NodeId(1), 1000, t(0));
+        let remote = f.transfer(NodeId(0), NodeId(2), 1000, t(0));
+        assert!(!local.dropped, "intra-site traffic avoids the backbone");
+        assert!(remote.dropped, "cross-site traffic crosses the dead trunk");
+        assert_eq!(f.flap_losses(), 1);
+    }
+
+    #[test]
+    fn wan_overflow_counts_and_drops() {
+        let f = NynetFabric::new(NynetParams::nynet_ds3(4).with_output_buffer(32));
+        // Saturate the slow DS-3 backbone with cross-site bulk transfers.
+        let mut dropped = 0;
+        for _ in 0..8 {
+            if f.transfer(NodeId(0), NodeId(2), 16_000, t(0)).dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "backbone queue must overflow");
+        assert_eq!(f.overflow_drops(), dropped);
     }
 
     #[test]

@@ -99,6 +99,26 @@ impl CellHeader {
             clp: bytes[3] & 1 != 0,
         })
     }
+
+    /// Unpacks a 5-byte header in HEC *correction mode* (ITU-T I.432): a
+    /// clean header decodes directly; a single-bit error anywhere in the 40
+    /// header bits is corrected; anything worse is discarded. Returns the
+    /// header and whether a correction was applied.
+    pub fn unpack_correcting(
+        bytes: &[u8; CELL_HEADER],
+    ) -> Result<(CellHeader, bool), HeaderError> {
+        if let Ok(h) = CellHeader::unpack(bytes) {
+            return Ok((h, false));
+        }
+        for bit in 0..(CELL_HEADER * 8) {
+            let mut fixed = *bytes;
+            fixed[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(h) = CellHeader::unpack(&fixed) {
+                return Ok((h, true));
+            }
+        }
+        Err(HeaderError::BadHec)
+    }
 }
 
 /// Header decode failure.
@@ -192,6 +212,27 @@ mod tests {
         let mut packed = h.pack();
         packed[2] ^= 0x40;
         assert_eq!(CellHeader::unpack(&packed), Err(HeaderError::BadHec));
+    }
+
+    #[test]
+    fn single_bit_header_error_corrected() {
+        let h = CellHeader::data(3, 77).with_end_of_pdu(true);
+        for bit in 0..(CELL_HEADER * 8) {
+            let mut packed = h.pack();
+            packed[bit / 8] ^= 1 << (bit % 8);
+            let (back, corrected) = CellHeader::unpack_correcting(&packed)
+                .unwrap_or_else(|_| panic!("bit {bit} must be correctable"));
+            assert!(corrected);
+            assert_eq!(back, h, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn clean_header_reports_no_correction() {
+        let h = CellHeader::data(1, 9);
+        let (back, corrected) = CellHeader::unpack_correcting(&h.pack()).unwrap();
+        assert!(!corrected);
+        assert_eq!(back, h);
     }
 
     #[test]

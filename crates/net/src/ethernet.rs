@@ -131,6 +131,7 @@ impl Fabric for EthernetFabric {
         TransferTiming {
             first_hop_done: slot.end,
             arrival: slot.arrival,
+            dropped: slot.lost,
         }
     }
 

@@ -36,6 +36,10 @@ pub struct TransferTiming {
     pub first_hop_done: SimTime,
     /// When the last bit arrives at the destination.
     pub arrival: SimTime,
+    /// The chunk was lost in flight (link outage or switch-buffer
+    /// overflow); `arrival` is when it *would* have arrived. Transports
+    /// must not deliver it.
+    pub dropped: bool,
 }
 
 /// A wire-level topology with FIFO-queued links.
@@ -92,6 +96,7 @@ impl Fabric for IdealFabric {
         TransferTiming {
             first_hop_done: depart,
             arrival: depart + self.latency,
+            dropped: false,
         }
     }
 

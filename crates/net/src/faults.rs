@@ -1,0 +1,520 @@
+//! Cell-level fault injection: a [`Network`] decorator that damages traffic
+//! the way a real ATM plant does.
+//!
+//! [`ChaosNet`] sits between a message layer and a transport stack. For each
+//! message it models the AAL5 cell stream the transport would emit and rolls
+//! seeded per-cell faults:
+//!
+//! * **bit flips** — one random bit of the 53-byte cell (or a multi-bit
+//!   burst). Header hits go through real HEC correction-mode decoding
+//!   ([`CellHeader::unpack_correcting`]): single-bit errors are repaired,
+//!   worse ones discard the cell. Payload hits ride to the receiver where
+//!   the AAL5 CRC-32 rejects the CS-PDU ([`aal5::reassemble`]).
+//! * **cell loss** — the cell vanishes (switch congestion elsewhere), so
+//!   reassembly fails on framing or length.
+//! * **crash-stop nodes** — after a scheduled instant a node emits and
+//!   absorbs nothing; traffic to or from it disappears silently.
+//!
+//! A damaged CS-PDU means the *message* never completes at the receiver:
+//! ChaosNet drops it whole and the error-control layer above must recover
+//! by timeout and retransmission. Every retransmission re-rolls its faults.
+//! All damage is tallied in [`FaultStats`].
+//!
+//! Deterministic link up/down flap windows and switch output-buffer
+//! overflow live *below* the transport, on [`crate::link::LinkState`] and
+//! the ATM fabrics, because they depend on wire timing; this module handles
+//! the payload-integrity faults that depend on message contents.
+
+use bytes::Bytes;
+use ncs_sim::{Ctx, Dur, SimChannel, SimRng, SimTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::aal5;
+use crate::cell::{AtmCell, CellHeader, CELL_BYTES, CELL_HEADER};
+use crate::fabric::NodeId;
+use crate::host::HostParams;
+use crate::stack::{Delivery, Network, WaitPolicy};
+
+/// Fault-injection knobs for [`ChaosNet`].
+#[derive(Clone, Debug)]
+pub struct ChaosParams {
+    /// Per-cell probability of a bit-flip event.
+    pub p_cell_corrupt: f64,
+    /// Per-cell probability the cell is lost outright.
+    pub p_cell_loss: f64,
+    /// Probability a bit-flip event is a multi-bit burst (three flips in
+    /// one byte) instead of a single bit — bursts in the header defeat
+    /// HEC's single-bit correction.
+    pub p_burst: f64,
+    /// CS-PDU chunking applied to large messages before cell accounting
+    /// (the transports hand AAL5 one I/O buffer at a time).
+    pub pdu_bytes: usize,
+    /// RNG seed; the same seed over the same traffic damages the same
+    /// cells.
+    pub seed: u64,
+}
+
+impl ChaosParams {
+    /// No faults at all (useful as a baseline in sweeps).
+    pub fn clean(seed: u64) -> ChaosParams {
+        ChaosParams {
+            p_cell_corrupt: 0.0,
+            p_cell_loss: 0.0,
+            p_burst: 0.1,
+            pdu_bytes: 9180,
+            seed,
+        }
+    }
+
+    /// Corruption and loss at the given per-cell rates.
+    pub fn new(p_cell_corrupt: f64, p_cell_loss: f64, seed: u64) -> ChaosParams {
+        ChaosParams {
+            p_cell_corrupt,
+            p_cell_loss,
+            ..ChaosParams::clean(seed)
+        }
+    }
+}
+
+/// Running damage tally, shared by reference with the harness.
+#[derive(Default)]
+pub struct FaultStats {
+    /// Cells that entered the fault model.
+    pub cells_total: AtomicU64,
+    /// Cells hit by a bit-flip event.
+    pub cells_corrupted: AtomicU64,
+    /// Cells lost outright.
+    pub cells_lost: AtomicU64,
+    /// Headers repaired by HEC single-bit correction.
+    pub headers_corrected: AtomicU64,
+    /// Cells discarded for uncorrectable headers.
+    pub cells_discarded: AtomicU64,
+    /// CS-PDUs rejected by the AAL5 CRC-32 or framing checks.
+    pub pdus_rejected: AtomicU64,
+    /// Messages dropped whole (any of their PDUs died).
+    pub messages_dropped: AtomicU64,
+    /// Messages discarded because an endpoint had crashed.
+    pub crash_drops: AtomicU64,
+}
+
+/// A plain-value copy of [`FaultStats`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Cells that entered the fault model.
+    pub cells_total: u64,
+    /// Cells hit by a bit-flip event.
+    pub cells_corrupted: u64,
+    /// Cells lost outright.
+    pub cells_lost: u64,
+    /// Headers repaired by HEC single-bit correction.
+    pub headers_corrected: u64,
+    /// Cells discarded for uncorrectable headers.
+    pub cells_discarded: u64,
+    /// CS-PDUs rejected by the AAL5 CRC-32 or framing checks.
+    pub pdus_rejected: u64,
+    /// Messages dropped whole.
+    pub messages_dropped: u64,
+    /// Messages discarded because an endpoint had crashed.
+    pub crash_drops: u64,
+}
+
+impl FaultStats {
+    /// Reads all counters.
+    pub fn snapshot(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            cells_total: self.cells_total.load(Ordering::Relaxed),
+            cells_corrupted: self.cells_corrupted.load(Ordering::Relaxed),
+            cells_lost: self.cells_lost.load(Ordering::Relaxed),
+            headers_corrected: self.headers_corrected.load(Ordering::Relaxed),
+            cells_discarded: self.cells_discarded.load(Ordering::Relaxed),
+            pdus_rejected: self.pdus_rejected.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            crash_drops: self.crash_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The fault-injecting network decorator.
+pub struct ChaosNet {
+    inner: Arc<dyn Network>,
+    params: ChaosParams,
+    rng: Mutex<SimRng>,
+    stats: Arc<FaultStats>,
+    /// Crash-stop schedule: node → instant after which it is dead.
+    crashes: Mutex<HashMap<usize, SimTime>>,
+}
+
+impl ChaosNet {
+    /// Wraps `inner` with the given fault parameters.
+    pub fn new(inner: Arc<dyn Network>, params: ChaosParams) -> Arc<ChaosNet> {
+        assert!((0.0..=1.0).contains(&params.p_cell_corrupt));
+        assert!((0.0..=1.0).contains(&params.p_cell_loss));
+        assert!((0.0..=1.0).contains(&params.p_burst));
+        assert!(params.pdu_bytes > 0 && params.pdu_bytes <= aal5::MAX_PDU);
+        Arc::new(ChaosNet {
+            inner,
+            rng: Mutex::new(SimRng::new(params.seed)),
+            stats: Arc::new(FaultStats::default()),
+            crashes: Mutex::new(HashMap::new()),
+            params,
+        })
+    }
+
+    /// The damage tally (shared; keep a clone before moving the net).
+    pub fn stats(&self) -> Arc<FaultStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Schedules `node` to crash-stop at `at`: from then on it neither
+    /// sends nor receives.
+    pub fn crash_at(&self, node: NodeId, at: SimTime) {
+        self.crashes.lock().insert(node.idx(), at);
+    }
+
+    /// Whether `node` has crashed as of `now`.
+    pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes
+            .lock()
+            .get(&node.idx())
+            .is_some_and(|&at| at <= now)
+    }
+
+    /// Runs one CS-PDU through the cell-level fault model. Returns whether
+    /// the receiver's AAL5 layer hands the intact payload up.
+    fn pdu_survives(&self, chunk: &[u8], rng: &mut SimRng) -> bool {
+        let n_cells = aal5::cells_for_pdu(chunk.len());
+        self.stats
+            .cells_total
+            .fetch_add(n_cells as u64, Ordering::Relaxed);
+
+        // Cheap pass: draw each cell's fate without materializing anything.
+        let mut lost = Vec::new();
+        let mut flips: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..n_cells {
+            if rng.gen_bool(self.params.p_cell_loss) {
+                lost.push(i);
+                continue;
+            }
+            if rng.gen_bool(self.params.p_cell_corrupt) {
+                let first = rng.gen_index(CELL_BYTES * 8);
+                let mut bits = vec![first];
+                if rng.gen_bool(self.params.p_burst) {
+                    // A burst: two more flips within the same byte.
+                    let byte = first / 8;
+                    bits.push(byte * 8 + rng.gen_index(8));
+                    bits.push(byte * 8 + rng.gen_index(8));
+                    bits.dedup();
+                }
+                flips.push((i, bits));
+            }
+        }
+        self.stats
+            .cells_lost
+            .fetch_add(lost.len() as u64, Ordering::Relaxed);
+        self.stats
+            .cells_corrupted
+            .fetch_add(flips.len() as u64, Ordering::Relaxed);
+        if lost.is_empty() && flips.is_empty() {
+            return true;
+        }
+
+        // Something was hit: run the real ATM receive pipeline over the
+        // materialized cell stream to decide the PDU's fate.
+        let cells = aal5::segment(chunk, 0, 32);
+        debug_assert_eq!(cells.len(), n_cells);
+        let flip_map: HashMap<usize, &[usize]> = flips
+            .iter()
+            .map(|(i, bits)| (*i, bits.as_slice()))
+            .collect();
+        let mut received = Vec::with_capacity(n_cells);
+        for (i, cell) in cells.iter().enumerate() {
+            if lost.binary_search(&i).is_ok() {
+                continue;
+            }
+            let mut wire = cell.to_bytes();
+            if let Some(bits) = flip_map.get(&i) {
+                for &b in *bits {
+                    wire[b / 8] ^= 1 << (b % 8);
+                }
+            }
+            let mut hdr = [0u8; CELL_HEADER];
+            hdr.copy_from_slice(&wire[..CELL_HEADER]);
+            match CellHeader::unpack_correcting(&hdr) {
+                Ok((header, corrected)) => {
+                    if corrected {
+                        self.stats.headers_corrected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut payload = [0u8; CELL_BYTES - CELL_HEADER];
+                    payload.copy_from_slice(&wire[CELL_HEADER..]);
+                    received.push(AtmCell::new(header, payload));
+                }
+                Err(_) => {
+                    self.stats.cells_discarded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        match aal5::reassemble(&received) {
+            Ok(data) if data == chunk => true,
+            _ => {
+                self.stats.pdus_rejected.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Whether a whole message survives: every CS-PDU must.
+    fn message_survives(&self, payload: &[u8]) -> bool {
+        let mut rng = self.rng.lock();
+        let mut ok = true;
+        if payload.is_empty() {
+            ok = self.pdu_survives(&[], &mut rng);
+        } else {
+            for chunk in payload.chunks(self.params.pdu_bytes) {
+                // Keep draining the RNG for every chunk so fault positions
+                // do not depend on earlier chunks' outcomes.
+                ok &= self.pdu_survives(chunk, &mut rng);
+            }
+        }
+        ok
+    }
+}
+
+impl Network for ChaosNet {
+    fn nodes(&self) -> usize {
+        self.inner.nodes()
+    }
+
+    fn host(&self, node: NodeId) -> &HostParams {
+        self.inner.host(node)
+    }
+
+    fn send(
+        &self,
+        ctx: &Ctx,
+        policy: &dyn WaitPolicy,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+        payload: Bytes,
+    ) {
+        let now = ctx.now();
+        if self.is_crashed(src, now) || self.is_crashed(dst, now) {
+            self.stats.crash_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if !self.message_survives(&payload) {
+            self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.inner.send(ctx, policy, src, dst, tag, payload);
+    }
+
+    fn inbox(&self, node: NodeId) -> SimChannel<Delivery> {
+        self.inner.inbox(node)
+    }
+
+    fn recv_pickup_cost(&self, node: NodeId, bytes: usize) -> Dur {
+        self.inner.recv_pickup_cost(node, bytes)
+    }
+
+    fn recv_reaction_cost(&self, node: NodeId, bytes: usize) -> Dur {
+        self.inner.recv_reaction_cost(node, bytes)
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "chaos(corrupt {:.1e}/cell, loss {:.1e}/cell, seed {}) over {}",
+            self.params.p_cell_corrupt,
+            self.params.p_cell_loss,
+            self.params.seed,
+            self.inner.description()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::IdealFabric;
+    use crate::stack::{BlockingWait, TcpNet, TcpParams};
+    use ncs_sim::Sim;
+
+    fn base_net() -> Arc<dyn Network> {
+        let fabric = Arc::new(IdealFabric::new(2, Dur::from_micros(5)));
+        let hosts = (0..2).map(|_| HostParams::test_fast()).collect();
+        Arc::new(TcpNet::new(fabric, hosts, TcpParams::ip_over_atm()))
+    }
+
+    /// Sends `n` messages of `bytes` through `net`; returns how many arrive.
+    fn deliveries(net: Arc<ChaosNet>, n: usize, bytes: usize) -> usize {
+        let sim = Sim::new();
+        let sender = Arc::clone(&net);
+        sim.spawn("sender", move |ctx| {
+            for i in 0..n {
+                sender.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    i as u64,
+                    Bytes::from(vec![0xA5u8; bytes]),
+                );
+            }
+        });
+        let got = Arc::new(Mutex::new(0usize));
+        let got2 = Arc::clone(&got);
+        sim.spawn("receiver", move |ctx| {
+            let inbox = net.inbox(NodeId(1));
+            while inbox.recv(ctx).is_ok() {
+                *got2.lock() += 1;
+            }
+        });
+        let outcome = sim.run();
+        assert!(outcome.panics.is_empty(), "{:?}", outcome.panics);
+        *got.lock()
+    }
+
+    #[test]
+    fn clean_params_are_transparent() {
+        let net = ChaosNet::new(base_net(), ChaosParams::clean(1));
+        let stats = net.stats();
+        let sim = Sim::new();
+        let tx = Arc::clone(&net);
+        sim.spawn("sender", move |ctx| {
+            tx.send(
+                ctx,
+                &BlockingWait,
+                NodeId(0),
+                NodeId(1),
+                9,
+                Bytes::from_static(b"hello cells"),
+            );
+        });
+        let ok = Arc::new(Mutex::new(false));
+        let ok2 = Arc::clone(&ok);
+        let rx = Arc::clone(&net);
+        sim.spawn("receiver", move |ctx| {
+            let d = rx.inbox(NodeId(1)).recv(ctx).unwrap();
+            assert_eq!(&d.payload[..], b"hello cells");
+            *ok2.lock() = true;
+        });
+        sim.run();
+        assert!(*ok.lock());
+        let s = stats.snapshot();
+        assert_eq!(s.cells_corrupted, 0);
+        assert_eq!(s.messages_dropped, 0);
+        assert!(s.cells_total > 0);
+    }
+
+    #[test]
+    fn heavy_corruption_drops_messages() {
+        let net = ChaosNet::new(base_net(), ChaosParams::new(0.5, 0.0, 7));
+        let stats = net.stats();
+        let sim = Sim::new();
+        let tx = Arc::clone(&net);
+        sim.spawn("sender", move |ctx| {
+            for i in 0..10u64 {
+                tx.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    i,
+                    Bytes::from(vec![3u8; 4096]),
+                );
+            }
+        });
+        sim.run();
+        let s = stats.snapshot();
+        assert!(s.cells_corrupted > 0);
+        assert!(s.messages_dropped > 0, "{s:?}");
+        // Payload hits must be caught by the AAL5 CRC.
+        assert!(s.pdus_rejected > 0, "{s:?}");
+    }
+
+    #[test]
+    fn single_bit_header_hits_are_survivable() {
+        // With bursts disabled every header hit is a single flipped bit,
+        // which HEC correction repairs; only payload hits kill PDUs.
+        let mut p = ChaosParams::new(0.05, 0.0, 21);
+        p.p_burst = 0.0;
+        let net = ChaosNet::new(base_net(), p);
+        let stats = net.stats();
+        let sim = Sim::new();
+        let tx = Arc::clone(&net);
+        sim.spawn("sender", move |ctx| {
+            for i in 0..200u64 {
+                tx.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    i,
+                    Bytes::from(vec![17u8; 1024]),
+                );
+            }
+        });
+        sim.run();
+        let s = stats.snapshot();
+        assert!(s.headers_corrected > 0, "header hits occur at 5% {s:?}");
+        assert_eq!(s.cells_discarded, 0, "single-bit headers always repair");
+    }
+
+    #[test]
+    fn cell_loss_breaks_reassembly() {
+        let net = ChaosNet::new(base_net(), ChaosParams::new(0.0, 0.3, 5));
+        let stats = net.stats();
+        let delivered = deliveries(Arc::clone(&net), 20, 2048);
+        let s = stats.snapshot();
+        assert!(s.cells_lost > 0);
+        assert!(s.messages_dropped > 0);
+        assert!(delivered < 20);
+        assert_eq!(
+            s.messages_dropped as usize + delivered,
+            20,
+            "every message either arrives or is counted dropped"
+        );
+    }
+
+    #[test]
+    fn crashed_destination_absorbs_nothing() {
+        let net = ChaosNet::new(base_net(), ChaosParams::clean(3));
+        net.crash_at(NodeId(1), SimTime::ZERO);
+        let stats = net.stats();
+        let delivered = deliveries(Arc::clone(&net), 5, 64);
+        assert_eq!(delivered, 0);
+        assert_eq!(stats.snapshot().crash_drops, 5);
+    }
+
+    #[test]
+    fn crash_takes_effect_at_its_instant() {
+        let net = ChaosNet::new(base_net(), ChaosParams::clean(3));
+        net.crash_at(NodeId(1), SimTime::ZERO + Dur::from_millis(1));
+        assert!(!net.is_crashed(NodeId(1), SimTime::ZERO));
+        assert!(net.is_crashed(NodeId(1), SimTime::ZERO + Dur::from_millis(2)));
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let run = |seed: u64| {
+            let net = ChaosNet::new(base_net(), ChaosParams::new(0.02, 0.01, seed));
+            let stats = net.stats();
+            deliveries(net, 30, 1500);
+            stats.snapshot()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn empty_messages_still_traverse() {
+        let net = ChaosNet::new(base_net(), ChaosParams::new(0.0, 0.0, 1));
+        let delivered = deliveries(Arc::clone(&net), 3, 0);
+        assert_eq!(delivered, 3);
+        // An empty payload still rides one cell (trailer only).
+        assert_eq!(net.stats().snapshot().cells_total, 3);
+    }
+}

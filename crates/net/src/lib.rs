@@ -14,7 +14,11 @@
 //!   and the NCS ATM API path ([`AtmApiNet`]) with Figure-2's multiple-I/O-
 //!   buffer pipeline, both behind the [`Network`] trait;
 //! * **testbeds**: [`topology::Testbed`] presets mirroring the paper's
-//!   experimental environment.
+//!   experimental environment;
+//! * **fault injection**: [`faults`] — seeded cell-level bit flips and
+//!   loss (exercising real HEC correction and AAL5 CRC rejection) plus
+//!   crash-stop nodes, as a [`Network`] decorator; deterministic link
+//!   flap windows and switch-buffer overflow live on [`link`] and [`atm`].
 
 #![warn(missing_docs)]
 
@@ -26,12 +30,14 @@ pub mod cell;
 pub mod crc;
 pub mod ethernet;
 pub mod fabric;
+pub mod faults;
 pub mod host;
 pub mod link;
 pub mod stack;
 pub mod topology;
 
 pub use api::{AtmApi, TrafficClass, Vc, VcTable};
+pub use faults::{ChaosNet, ChaosParams, FaultStats, FaultStatsSnapshot};
 pub use fabric::{Fabric, IdealFabric, NodeId, TransferTiming};
 pub use host::{DatapathKind, HostParams};
 pub use link::{LinkSpec, LinkState};

@@ -84,6 +84,10 @@ struct LinkInner {
     bytes_carried: u64,
     chunks_carried: u64,
     busy_integral_ps: u128,
+    /// Scheduled outage windows `[down, up)`: any transmission overlapping
+    /// one is lost on the wire (the transmitter still clocks the bits out).
+    down_windows: Vec<(SimTime, SimTime)>,
+    flap_losses: u64,
 }
 
 /// Dynamic state of one unidirectional link.
@@ -102,6 +106,9 @@ pub struct TxSlot {
     pub end: SimTime,
     /// When the last bit arrives at the far end (`end` + propagation).
     pub arrival: SimTime,
+    /// The transmission overlapped a scheduled outage window: the bits were
+    /// clocked out but never reached the far end.
+    pub lost: bool,
 }
 
 impl LinkState {
@@ -114,6 +121,8 @@ impl LinkState {
                 bytes_carried: 0,
                 chunks_carried: 0,
                 busy_integral_ps: 0,
+                down_windows: Vec::new(),
+                flap_losses: 0,
             }),
         })
     }
@@ -130,11 +139,37 @@ impl LinkState {
         l.bytes_carried += wire_bytes as u64;
         l.chunks_carried += 1;
         l.busy_integral_ps += u128::from(end.since(start).as_ps());
+        let lost = l.down_windows.iter().any(|&(d, u)| start < u && end > d);
+        if lost {
+            l.flap_losses += 1;
+        }
         TxSlot {
             start,
             end,
             arrival: end + self.spec.propagation,
+            lost,
         }
+    }
+
+    /// Schedules an outage window `[down, up)`: any transmission whose wire
+    /// time overlaps it is marked lost. Deterministic link-flap injection.
+    pub fn schedule_flap(&self, down: SimTime, up: SimTime) {
+        assert!(down < up, "flap window must have positive width");
+        self.inner.lock().down_windows.push((down, up));
+    }
+
+    /// Whether a scheduled outage covers instant `at`.
+    pub fn is_down(&self, at: SimTime) -> bool {
+        self.inner
+            .lock()
+            .down_windows
+            .iter()
+            .any(|&(d, u)| d <= at && at < u)
+    }
+
+    /// Transmissions lost to scheduled outages so far.
+    pub fn flap_losses(&self) -> u64 {
+        self.inner.lock().flap_losses
     }
 
     /// Occupies the transmitter for `hold` starting no earlier than
@@ -151,7 +186,14 @@ impl LinkState {
             start,
             end,
             arrival: end + self.spec.propagation,
+            lost: false,
         }
+    }
+
+    /// Wire bytes still queued ahead of `now`, at this link's rate.
+    pub fn backlog_bytes(&self, now: SimTime) -> u64 {
+        let ps = u128::from(self.backlog(now).as_ps());
+        (ps * u128::from(self.spec.rate_bps) / 8 / 1_000_000_000_000) as u64
     }
 
     /// How far beyond `now` this link's transmitter is already booked.
@@ -238,5 +280,37 @@ mod tests {
         link.enqueue(t(0), 53, Dur::ZERO);
         assert_eq!(link.bytes_carried(), 106);
         assert_eq!(link.chunks_carried(), 2);
+    }
+
+    #[test]
+    fn flap_window_loses_overlapping_transmissions() {
+        let link = LinkState::new(LinkSpec::ethernet10());
+        link.schedule_flap(t(100), t(300));
+        // 125 B at 10 Mb/s = 100 us of wire time.
+        let before = link.enqueue(t(0), 125, Dur::ZERO); // [0, 100): clean
+        let during = link.enqueue(t(150), 125, Dur::ZERO); // [150, 250): lost
+        let after = link.enqueue(t(300), 125, Dur::ZERO); // [300, 400): clean
+        assert!(!before.lost);
+        assert!(during.lost);
+        assert!(!after.lost);
+        assert_eq!(link.flap_losses(), 1);
+        assert!(link.is_down(t(200)));
+        assert!(!link.is_down(t(300)));
+    }
+
+    #[test]
+    fn straddling_the_outage_edge_still_loses() {
+        let link = LinkState::new(LinkSpec::ethernet10());
+        link.schedule_flap(t(50), t(60));
+        let slot = link.enqueue(t(0), 125, Dur::ZERO); // [0, 100) overlaps
+        assert!(slot.lost);
+    }
+
+    #[test]
+    fn backlog_bytes_tracks_queued_wire_time() {
+        let link = LinkState::new(LinkSpec::ethernet10());
+        link.enqueue(t(0), 1250, Dur::ZERO); // 1 ms of wire time
+        assert_eq!(link.backlog_bytes(t(0)), 1250);
+        assert_eq!(link.backlog_bytes(t(2000)), 0);
     }
 }

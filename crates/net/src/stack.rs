@@ -284,6 +284,7 @@ impl<F: Fabric> Network for TcpNet<F> {
         let nseg = self.segments(len);
         let drain_budget = Dur::for_bytes(self.params.sockbuf, self.fabric.access_rate(src));
         let mut last_arrival = ctx.now();
+        let mut lost = false;
         for i in 0..nseg {
             let lo = i * self.params.mss;
             let seg = len.saturating_sub(lo).min(self.params.mss);
@@ -303,6 +304,7 @@ impl<F: Fabric> Network for TcpNet<F> {
             let timing = self
                 .fabric
                 .transfer(src, dst, seg + TCP_IP_HEADERS, ctx.now());
+            lost |= timing.dropped;
             last_arrival = last_arrival.max(timing.arrival);
             // Send-buffer pacing: the process may queue at most `sockbuf`
             // bytes ahead of the wire; beyond that, write() blocks.
@@ -317,6 +319,13 @@ impl<F: Fabric> Network for TcpNet<F> {
             tr.count("tcp.bytes", len as u64);
             tr.count("tcp.segments", nseg as u64);
         });
+        // A fabric-level loss (link flap, switch-buffer overflow) kills the
+        // message in flight: the wire time was spent but nothing arrives.
+        // Recovery is the error-control layer's job.
+        if lost {
+            ctx.sim().with_tracer(|tr| tr.count("tcp.fabric_drops", 1));
+            return;
+        }
         let inbox = self.inboxes[dst.idx()].clone();
         let msg = Delivery {
             src,
@@ -476,6 +485,7 @@ impl<F: Fabric> Network for AtmApiNet<F> {
         let len = payload.len();
         let n_chunks = len.div_ceil(self.params.buffer_bytes).max(1);
         let mut last_arrival = ctx.now();
+        let mut lost = false;
         for i in 0..n_chunks {
             let lo = i * self.params.buffer_bytes;
             let chunk = len.saturating_sub(lo).min(self.params.buffer_bytes);
@@ -514,6 +524,7 @@ impl<F: Fabric> Network for AtmApiNet<F> {
                 a.tx_busy.push_back(timing.first_hop_done);
                 (timing, nic_done)
             };
+            lost |= timing.dropped;
             // Receive-side reassembly on dst's adapter.
             let rx_done = {
                 let mut a = self.adapters[dst.idx()].lock();
@@ -528,6 +539,11 @@ impl<F: Fabric> Network for AtmApiNet<F> {
             tr.count("atm.msgs", 1);
             tr.count("atm.bytes", len as u64);
         });
+        // Fabric-level loss: the cells never reassemble at the far side.
+        if lost {
+            ctx.sim().with_tracer(|tr| tr.count("atm.fabric_drops", 1));
+            return;
+        }
         let inbox = self.inboxes[dst.idx()].clone();
         let msg = Delivery {
             src,

@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use ncs::core::faulty::FaultyNet;
-use ncs::core::{ErrorControl, NcsConfig, NcsWorld, ThreadAddr, EXC_DELIVERY_FAILED};
+use ncs::core::{ErrorControl, NcsConfig, NcsWorld, RtoConfig, ThreadAddr, EXC_DELIVERY_FAILED};
 use ncs::net::{Network, Testbed};
 use ncs::sim::{Dur, Sim};
 use std::sync::Arc;
@@ -22,7 +22,7 @@ fn main() {
     let faulty_dyn: Arc<dyn Network> = Arc::clone(&faulty) as Arc<dyn Network>;
     let cfg = NcsConfig {
         error: ErrorControl::ChecksumRetransmit,
-        retx_timeout: Dur::from_millis(150),
+        rto: RtoConfig::from_base(Dur::from_millis(150)),
         ..NcsConfig::default()
     };
     const MSGS: u32 = 40;
@@ -60,7 +60,7 @@ fn main() {
     let dead: Arc<dyn Network> = Arc::new(FaultyNet::with_loss(base, 0.0, 1.0, 0xF002));
     let cfg = NcsConfig {
         error: ErrorControl::ChecksumRetransmit,
-        retx_timeout: Dur::from_millis(100),
+        rto: RtoConfig::from_base(Dur::from_millis(100)),
         max_retries: 4,
         ..NcsConfig::default()
     };

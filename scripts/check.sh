@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Full verification pipeline: format check, lints, tests, benches (smoke),
-# docs, and every experiment regenerator.
+# Full verification pipeline. The first three stages mirror CI
+# (.github/workflows/ci.yml) exactly; the rest are local extras:
+# benches (smoke), docs, and every experiment regenerator.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== build (release, as CI) =="
+cargo build --release --workspace
 
-echo "== tests =="
-cargo test --workspace
+echo "== tests (as CI) =="
+cargo test -q --workspace
+
+echo "== clippy (as CI) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test
