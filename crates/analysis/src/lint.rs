@@ -1,0 +1,368 @@
+//! Source-level determinism lint.
+//!
+//! The reproduction's core promise is bit-exact replay: the same seed must
+//! produce the same trace hash on every run and every machine. That promise
+//! is easy to break silently — one `HashMap` iteration in a hot path, one
+//! `Instant::now()` leaking wall-clock time into virtual time — and the
+//! breakage only shows up as a flaky determinism test much later. This lint
+//! rejects the dangerous constructions at the source level, where the
+//! offending line is named directly.
+//!
+//! Rules (stable identifiers, usable in `allow` escapes):
+//!
+//! * `hash-collection` — `HashMap`/`HashSet` in simulation-facing code.
+//!   Their iteration order depends on `RandomState`; use `BTreeMap`/
+//!   `BTreeSet` (or an index-keyed `Vec`) instead.
+//! * `wall-clock` — `Instant::now`/`SystemTime` anywhere but the real-time
+//!   pacing shim (`crates/core/src/real.rs`), the one module allowed to
+//!   observe the host clock.
+//! * `thread-spawn` — raw OS threads (`std::thread::spawn`,
+//!   `thread::Builder`) outside `real.rs` and the kernel's own green-thread
+//!   parking machinery. OS scheduling order is nondeterministic; all
+//!   concurrency must go through the simulation kernel or NCS_MTS.
+//! * `unseeded-rand` — entropy-seeded randomness (`thread_rng`,
+//!   `from_entropy`, `rand::random`, `from_os_rng`, `OsRng`). Use
+//!   [`ncs_sim::SimRng`] with an explicit seed.
+//! * `float-time` — `f32`/`f64` inside the simulation clock
+//!   (`crates/sim/src/time.rs`). Time is integer picoseconds; float
+//!   arithmetic there would make event ordering platform-dependent. The
+//!   explicitly-allowed conversion helpers at the display/config boundary
+//!   carry `allow` escapes.
+//!
+//! A line (or the line directly below the comment) is exempted with:
+//!
+//! ```text
+//! // ncs-lint: allow(rule-a, rule-b)
+//! ```
+//!
+//! Comments and string/char literals are stripped before matching, so doc
+//! comments may freely *mention* `HashMap`; `#[cfg(test)]` items and
+//! modules are skipped entirely (tests may use whatever they like — the
+//! determinism suite catches them if they matter).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Every rule identifier the lint knows, in reporting order.
+pub const LINT_RULES: &[&str] = &[
+    "hash-collection",
+    "wall-clock",
+    "thread-spawn",
+    "unseeded-rand",
+    "float-time",
+];
+
+/// The crate sources the workspace lint walks (simulation-facing code).
+const LINT_ROOTS: &[&str] = &[
+    "crates/sim/src",
+    "crates/net/src",
+    "crates/mts/src",
+    "crates/p4/src",
+    "crates/core/src",
+    "crates/apps/src",
+];
+
+/// One lint hit: a rule, a location, and the offending source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintViolation {
+    /// Which rule fired (one of [`LINT_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The raw source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Carried across lines: are we inside a block comment or a multi-line
+/// string literal?
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum LexState {
+    #[default]
+    Code,
+    BlockComment(u32),
+    Str,
+}
+
+/// Strips comments and string/char literals from one source line, carrying
+/// `state` across lines (nested block comments and multi-line strings).
+/// Stripped spans are replaced with spaces so column math stays sane.
+fn strip_line(raw: &str, state: LexState) -> (String, LexState) {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    let mut st = state;
+    while let Some(c) = chars.next() {
+        match st {
+            LexState::BlockComment(depth) => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    st = if depth > 1 {
+                        LexState::BlockComment(depth - 1)
+                    } else {
+                        LexState::Code
+                    };
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    st = LexState::BlockComment(depth + 1);
+                }
+            }
+            LexState::Str => {
+                if c == '\\' {
+                    chars.next();
+                } else if c == '"' {
+                    st = LexState::Code;
+                }
+            }
+            LexState::Code => match c {
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    st = LexState::BlockComment(1);
+                }
+                '"' => st = LexState::Str,
+                '\'' => {
+                    // Char literal or lifetime. A literal is 'x' or an
+                    // escape; a lifetime ('a, 'static) has no closing quote
+                    // right after its (identifier) body.
+                    let mut la = chars.clone();
+                    match la.next() {
+                        Some('\\') => {
+                            // Escape: consume through the closing quote.
+                            chars.next();
+                            for c2 in chars.by_ref() {
+                                if c2 == '\'' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some(_) if la.next() == Some('\'') => {
+                            chars.next();
+                            chars.next();
+                        }
+                        _ => {} // lifetime: keep scanning normally
+                    }
+                }
+                _ => out.push(c),
+            },
+        }
+    }
+    // A line comment never carries over; anything else does.
+    (out, st)
+}
+
+/// Extracts the rules named by `ncs-lint: allow(rule, ...)` in a raw line.
+fn parse_allows(raw: &str) -> Vec<&str> {
+    let Some(at) = raw.find("ncs-lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[at + "ncs-lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Lints one file. `rel_path` is the workspace-relative path with forward
+/// slashes — rule scoping (the `real.rs` exemptions, the `float-time`
+/// clock-only scope) keys off it.
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
+    let is_real_shim = rel_path.ends_with("core/src/real.rs");
+    let is_sim_clock = rel_path == "crates/sim/src/time.rs";
+
+    let mut out = Vec::new();
+    let mut lex = LexState::default();
+    let mut depth: i64 = 0;
+    // `Some(d)`: inside a `#[cfg(test)]` item opened at brace depth `d`;
+    // skip until depth returns to `d`.
+    let mut skip_below: Option<i64> = None;
+    // A `#[cfg(test)]` attribute was seen and its item hasn't opened yet.
+    let mut pending_cfg_test = false;
+    let mut allow_prev: Vec<String> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, next_lex) = strip_line(raw, lex);
+        lex = next_lex;
+
+        let allows_here: Vec<String> = parse_allows(raw).iter().map(|s| s.to_string()).collect();
+        let active_allows: Vec<String> = allows_here
+            .iter()
+            .chain(allow_prev.iter())
+            .cloned()
+            .collect();
+        allow_prev = allows_here;
+        let allowed = |rule: &str| active_allows.iter().any(|a| a == rule);
+
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        if code.contains("cfg(test)") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && skip_below.is_none() {
+            if opens > 0 {
+                // The test item's body opens here: skip from the depth the
+                // brace was opened at.
+                skip_below = Some(depth);
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                // e.g. `#[cfg(test)] use proptest::prelude::*;`
+                pending_cfg_test = false;
+            }
+        }
+
+        let skipping = skip_below.is_some();
+        depth += opens - closes;
+        if let Some(d) = skip_below {
+            if depth <= d {
+                skip_below = None;
+            }
+        }
+        if skipping {
+            continue;
+        }
+
+        let mut hit = |rule: &'static str| {
+            if !allowed(rule) {
+                out.push(LintViolation {
+                    rule,
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        };
+
+        if code.contains("HashMap") || code.contains("HashSet") {
+            hit("hash-collection");
+        }
+        if !is_real_shim && (code.contains("Instant::now") || code.contains("SystemTime")) {
+            hit("wall-clock");
+        }
+        if !is_real_shim && (code.contains("thread::spawn") || code.contains("thread::Builder")) {
+            hit("thread-spawn");
+        }
+        if code.contains("thread_rng")
+            || code.contains("from_entropy")
+            || code.contains("rand::random")
+            || code.contains("from_os_rng")
+            || code.contains("OsRng")
+        {
+            hit("unseeded-rand");
+        }
+        if is_sim_clock && (code.contains("f64") || code.contains("f32")) {
+            hit("float-time");
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every simulation-facing crate under the workspace `root`
+/// (`crates/{sim,net,mts,p4,core,apps}/src`). Integration tests and bench
+/// binaries are out of scope — determinism there is enforced by the suite
+/// itself.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintViolation>> {
+    let mut out = Vec::new();
+    for sub in LINT_ROOTS {
+        let dir = root.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files(&dir, &mut files)?;
+        for f in files {
+            let source = fs::read_to_string(&f)?;
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.extend(lint_file(&rel, &source));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = "/// docs may mention HashMap freely\n\
+                   let s = \"HashMap in a string\";\n\
+                   /* block HashMap comment */ let x = 1;\n";
+        assert!(lint_file("crates/core/src/env.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "// ncs-lint: allow(hash-collection)\n\
+                   use std::collections::HashMap;\n\
+                   use std::collections::HashSet;\n";
+        let v = lint_file("crates/core/src/env.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                   }\n\
+                   use std::collections::HashSet;\n";
+        let v = lint_file("crates/core/src/env.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn real_shim_is_exempt_from_clock_and_threads() {
+        let src = "let t = Instant::now();\nstd::thread::spawn(f);\n";
+        assert!(lint_file("crates/core/src/real.rs", src).is_empty());
+        assert_eq!(lint_file("crates/core/src/env.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn float_time_only_fires_in_the_sim_clock() {
+        let src = "pub fn secs(x: f64) -> f64 { x }\n";
+        assert_eq!(lint_file("crates/sim/src/time.rs", src).len(), 1);
+        assert!(lint_file("crates/sim/src/other.rs", src).is_empty());
+    }
+}

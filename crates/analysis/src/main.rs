@@ -1,0 +1,162 @@
+//! CI driver for the analysis layer: `cargo run -p ncs-analysis -- [mode]`.
+//!
+//! Modes:
+//!
+//! * `lint` — run the source-level determinism lint over the
+//!   simulation-facing crates.
+//! * `smoke` — run the three paper applications (matrix multiply, FFT,
+//!   JPEG pipeline) at small scale with every runtime invariant check
+//!   armed: credit flow control plus checksum-retransmit error control,
+//!   deadlock/lost-wakeup detection, queue validation, and the protocol
+//!   conservation checks.
+//! * `all` (default) — both.
+//!
+//! Exit code 1 on any violation, with one line per finding.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ncs_analysis::lint_workspace;
+use ncs_apps::fft::{fft_ncs_with, FftConfig};
+use ncs_apps::jpeg_dist::{setup_jpeg_ncs_with, JpegConfig};
+use ncs_apps::matmul::{setup_matmul_ncs_with, MatmulConfig};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig};
+use ncs_net::Testbed;
+use ncs_sim::{AnalysisConfig, InvariantSink, Sim};
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut failures = 0usize;
+    if mode == "lint" || mode == "all" {
+        failures += run_lint();
+    }
+    if mode == "smoke" || mode == "all" {
+        failures += run_smoke();
+    }
+    if !matches!(mode.as_str(), "lint" | "smoke" | "all") {
+        eprintln!("usage: ncs-analysis [lint|smoke|all]");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!("ncs-analysis: {failures} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("ncs-analysis: clean");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints the workspace sources; returns the number of violations.
+fn run_lint() -> usize {
+    // CARGO_MANIFEST_DIR = <root>/crates/analysis.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    match lint_workspace(root) {
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lint: {v}");
+            }
+            println!("lint: scanned {}, {} violation(s)", root.display(), violations.len());
+            violations.len()
+        }
+        Err(e) => {
+            eprintln!("lint: cannot read workspace sources: {e}");
+            1
+        }
+    }
+}
+
+/// An NCS configuration with every protocol feature the invariant checks
+/// watch: credit flow control and checksum-retransmit error control.
+fn checked_cfg() -> (NcsConfig, Arc<InvariantSink>) {
+    let (analysis, sink) = AnalysisConfig::recording();
+    (
+        NcsConfig {
+            flow: FlowControl::Credit { window: 4 },
+            error: ErrorControl::ChecksumRetransmit,
+            analysis,
+            ..NcsConfig::default()
+        },
+        sink,
+    )
+}
+
+/// Drains `sink` and reports; returns the number of violations plus one if
+/// the app failed to verify.
+fn tally(app: &str, verified: bool, sink: &InvariantSink) -> usize {
+    let violations = sink.take();
+    for v in &violations {
+        eprintln!("smoke[{app}]: {v}");
+    }
+    let mut n = violations.len();
+    if !verified {
+        eprintln!("smoke[{app}]: result verification failed");
+        n += 1;
+    } else {
+        println!("smoke[{app}]: verified, {} violation(s)", violations.len());
+    }
+    n
+}
+
+/// Runs the three applications with invariant checking on; returns the
+/// total number of violations.
+fn run_smoke() -> usize {
+    let mut failures = 0usize;
+
+    {
+        let sim = Sim::new();
+        let (cfg, sink) = checked_cfg();
+        let handle = setup_matmul_ncs_with(
+            &sim,
+            Testbed::SunAtmLanTcp.build(3),
+            MatmulConfig {
+                dim: 32,
+                nodes: 2,
+                seed: 0x4D4D,
+            },
+            cfg,
+        );
+        sim.run().assert_clean();
+        failures += tally("matmul", handle.verify(), &sink);
+    }
+
+    {
+        let (cfg, sink) = checked_cfg();
+        let run = fft_ncs_with(
+            Testbed::SunAtmLanTcp.build(3),
+            FftConfig {
+                m: 64,
+                sets: 1,
+                nodes: 2,
+                seed: 0xFF7,
+            },
+            cfg,
+        );
+        failures += tally("fft", run.verified, &sink);
+    }
+
+    {
+        let sim = Sim::new();
+        let (cfg, sink) = checked_cfg();
+        let handle = setup_jpeg_ncs_with(
+            &sim,
+            Testbed::SunAtmLanTcp.build(3),
+            JpegConfig {
+                width: 64,
+                height: 64,
+                quality: 60,
+                entropy: ncs_apps::jpeg::EntropyKind::Huffman,
+                nodes: 2,
+                seed: 4,
+            },
+            cfg,
+        );
+        sim.run().assert_clean();
+        failures += tally("jpeg", handle.verify(), &sink);
+    }
+
+    failures
+}

@@ -1,0 +1,82 @@
+//! Post-run classification of a finished simulation.
+//!
+//! The kernel and the MTS scheduler already report violations *during* a
+//! run when handed a recording [`AnalysisConfig`](ncs_sim::AnalysisConfig):
+//! the scheduler scans its wait-for graph at every idle transition
+//! (deadlocks), and the kernel flags threads still parked when the event
+//! queue drains (lost wakeups). This module is the offline complement — it
+//! takes a [`RunOutcome`] plus the MTS runtimes that took part and explains
+//! every stuck thread, cycle or not, without requiring a sink to have been
+//! attached up front.
+
+use ncs_mts::{Mts, MtsThreadState};
+use ncs_sim::{RunOutcome, StopReason, Violation};
+
+/// Classifies every thread still blocked at the end of a completed run.
+///
+/// Returns one [`Violation`] per stuck MTS thread:
+///
+/// * `check == "deadlock"` — the thread sits on a wait-for cycle (it waits
+///   on a thread that transitively waits back on it). The detail names the
+///   full cycle.
+/// * `check == "lost-wakeup"` — the thread is blocked (or parked in
+///   external wait) with no cycle to blame: whoever should have called
+///   `unblock` never did.
+///
+/// Runs stopped by a time or event limit return no violations — threads
+/// legitimately mid-wait when the clock is cut off are not stuck.
+pub fn check_outcome(out: &RunOutcome, mtses: &[&Mts]) -> Vec<Violation> {
+    if out.reason != StopReason::Completed {
+        return Vec::new();
+    }
+    let mut violations = Vec::new();
+    for mts in mtses {
+        let report = mts.thread_report();
+        let cycles = mts.deadlock_cycles();
+        let proc = mts.proc_name();
+        let name_of = |tid: ncs_mts::MtsTid| {
+            report
+                .iter()
+                .find(|t| t.tid == tid)
+                .map(|t| t.name.clone())
+                .unwrap_or_else(|| format!("t{}", tid.0))
+        };
+        let mut on_cycle = Vec::new();
+        for cycle in &cycles {
+            let path = cycle
+                .iter()
+                .map(|&t| format!("{}/{}", proc, name_of(t)))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            for &tid in cycle {
+                on_cycle.push(tid);
+                violations.push(Violation {
+                    check: "deadlock",
+                    actor: format!("{}/{}", proc, name_of(tid)),
+                    detail: format!("on wait cycle {path}"),
+                });
+            }
+        }
+        for t in &report {
+            let stuck = matches!(
+                t.state,
+                MtsThreadState::Blocked | MtsThreadState::External
+            );
+            if stuck && !on_cycle.contains(&t.tid) {
+                violations.push(Violation {
+                    check: "lost-wakeup",
+                    actor: format!("{}/{}", proc, t.name),
+                    detail: match t.wait_on {
+                        Some(w) => format!(
+                            "blocked on {}/{} which never unblocked it",
+                            proc,
+                            name_of(w)
+                        ),
+                        None => "blocked anonymously; no unblock ever arrived".to_string(),
+                    },
+                });
+            }
+        }
+    }
+    violations
+}

@@ -1,0 +1,83 @@
+//! The three paper applications run with every runtime invariant armed:
+//! credit flow control, checksum-retransmit error control, deadlock and
+//! lost-wakeup detection, queue validation, and the protocol conservation
+//! checks. A clean stack must verify its results and report nothing.
+
+use ncs_apps::fft::{fft_ncs_with, FftConfig};
+use ncs_apps::jpeg_dist::{setup_jpeg_ncs_with, JpegConfig};
+use ncs_apps::matmul::{setup_matmul_ncs_with, MatmulConfig};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig};
+use ncs_net::Testbed;
+use ncs_sim::{AnalysisConfig, InvariantSink, Sim};
+use std::sync::Arc;
+
+fn checked_cfg() -> (NcsConfig, Arc<InvariantSink>) {
+    let (analysis, sink) = AnalysisConfig::recording();
+    (
+        NcsConfig {
+            flow: FlowControl::Credit { window: 4 },
+            error: ErrorControl::ChecksumRetransmit,
+            analysis,
+            ..NcsConfig::default()
+        },
+        sink,
+    )
+}
+
+#[test]
+fn matmul_verifies_with_invariants_armed() {
+    let sim = Sim::new();
+    let (cfg, sink) = checked_cfg();
+    let handle = setup_matmul_ncs_with(
+        &sim,
+        Testbed::SunAtmLanTcp.build(3),
+        MatmulConfig {
+            dim: 32,
+            nodes: 2,
+            seed: 0x4D4D,
+        },
+        cfg,
+    );
+    sim.run().assert_clean();
+    assert!(handle.verify());
+    assert!(sink.is_empty(), "violations: {:#?}", sink.violations());
+}
+
+#[test]
+fn fft_verifies_with_invariants_armed() {
+    let (cfg, sink) = checked_cfg();
+    let run = fft_ncs_with(
+        Testbed::SunAtmLanTcp.build(3),
+        FftConfig {
+            m: 64,
+            sets: 1,
+            nodes: 2,
+            seed: 0xFF7,
+        },
+        cfg,
+    );
+    assert!(run.verified);
+    assert!(sink.is_empty(), "violations: {:#?}", sink.violations());
+}
+
+#[test]
+fn jpeg_verifies_with_invariants_armed() {
+    let sim = Sim::new();
+    let (cfg, sink) = checked_cfg();
+    let handle = setup_jpeg_ncs_with(
+        &sim,
+        Testbed::SunAtmLanTcp.build(3),
+        JpegConfig {
+            width: 64,
+            height: 64,
+            quality: 60,
+            entropy: ncs_apps::jpeg::EntropyKind::Huffman,
+            nodes: 2,
+            seed: 4,
+        },
+        cfg,
+    );
+    sim.run().assert_clean();
+    assert!(handle.verify());
+    assert!(sink.is_empty(), "violations: {:#?}", sink.violations());
+}

@@ -1,0 +1,96 @@
+//! Property tests for the wait-for-graph cycle detector: no false
+//! positives on DAGs, and exactly the planted cycles on constructed
+//! graphs.
+
+use ncs_sim::WaitGraph;
+use proptest::prelude::*;
+
+/// (n, candidate edges, node relabeling).
+fn dag_input() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<usize>)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..3 * n),
+            Just((0..n).collect::<Vec<usize>>()).prop_shuffle(),
+        )
+    })
+}
+
+/// (relabeled nodes, chunk cut points, self-loop flags, cross-edge
+/// candidates) — the chunks become planted cycles.
+fn planted_input(
+) -> impl Strategy<Value = (Vec<usize>, Vec<bool>, Vec<bool>, Vec<(usize, usize)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        (
+            Just((0..n).collect::<Vec<usize>>()).prop_shuffle(),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec((0..n, 0..n), 0..2 * n),
+        )
+    })
+}
+
+proptest! {
+    /// Edges only ever point from a lower to a higher rank (under an
+    /// arbitrary relabeling), so the graph is acyclic by construction and
+    /// the detector must stay silent.
+    #[test]
+    fn dag_has_no_false_positives((n, edges, perm) in dag_input()) {
+        let mut g = WaitGraph::new(n);
+        for (a, b) in edges {
+            if a < b {
+                g.add_edge(perm[a], perm[b]);
+            }
+        }
+        prop_assert!(g.cycles().is_empty());
+    }
+
+    /// Splits a random permutation into chunks; chunks of two or more
+    /// nodes become rings, singletons optionally get a self-loop, and
+    /// extra "tail" edges only ever point from later chunks into earlier
+    /// ones (so they cannot create or merge cycles). The detector must
+    /// return exactly the planted cycles.
+    #[test]
+    fn planted_cycles_are_found_exactly(
+        (perm, cuts, self_loops, cross) in planted_input()
+    ) {
+        let n = perm.len();
+        // Chunk the permutation: a true cut flag starts a new chunk.
+        let mut chunks: Vec<Vec<usize>> = vec![Vec::new()];
+        for (i, &node) in perm.iter().enumerate() {
+            if i > 0 && cuts[i] {
+                chunks.push(Vec::new());
+            }
+            chunks.last_mut().expect("chunk present").push(node);
+        }
+
+        let mut g = WaitGraph::new(n);
+        let mut chunk_of = vec![0usize; n];
+        let mut expected: Vec<Vec<usize>> = Vec::new();
+        for (ci, chunk) in chunks.iter().enumerate() {
+            for &node in chunk {
+                chunk_of[node] = ci;
+            }
+            if chunk.len() >= 2 {
+                for w in 0..chunk.len() {
+                    g.add_edge(chunk[w], chunk[(w + 1) % chunk.len()]);
+                }
+                let mut c = chunk.clone();
+                c.sort_unstable();
+                expected.push(c);
+            } else if self_loops[chunk[0]] {
+                g.add_edge(chunk[0], chunk[0]);
+                expected.push(chunk.clone());
+            }
+        }
+        // Tail edges: strictly from a later chunk into an earlier one, so
+        // every cross-chunk path decreases the chunk index — no new SCCs.
+        for (a, b) in cross {
+            if chunk_of[a] > chunk_of[b] {
+                g.add_edge(a, b);
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(g.cycles(), expected);
+    }
+}

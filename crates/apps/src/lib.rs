@@ -14,6 +14,7 @@
 //! references; virtual time is charged through the calibrated [`costs`]
 //! models so simulated runs land on the paper's single-node measurements.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod costs;

@@ -5,6 +5,7 @@
 //! table prints measured values side by side with the paper's, plus the
 //! derived "% improvement" columns the paper reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// One row of a p4-vs-NCS comparison table.

@@ -27,9 +27,9 @@ use bytes::Bytes;
 use ncs_mts::{Mts, MtsConfig, MtsCtx, MtsTid};
 use ncs_net::stack::WaitPolicy;
 use ncs_net::{Delivery, HostParams, Network, NodeId};
-use ncs_sim::{Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
+use ncs_sim::{AnalysisConfig, Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use crate::addr::{decode_tag, encode_tag, MsgClass, ThreadAddr};
@@ -80,6 +80,12 @@ pub struct NcsConfig {
     /// Exhausting the budget also marks the destination **dead**: further
     /// sends to it fail fast with the same exception instead of hanging.
     pub max_retries: u32,
+    /// Runtime analysis pass: deadlock / lost-wakeup detection in the
+    /// scheduler plus protocol conservation checks (credits, sequence
+    /// numbers, retry budgets) in the system threads. Off by default; an
+    /// active config here is also installed into [`NcsConfig::mts`] (and
+    /// the sim kernel) unless one was set there explicitly.
+    pub analysis: AnalysisConfig,
 }
 
 /// Adaptive retransmission-timeout parameters (Jacobson's algorithm).
@@ -135,6 +141,7 @@ impl Default for NcsConfig {
             poll_cost: Dur::from_micros(10),
             rto: RtoConfig::default(),
             max_retries: 8,
+            analysis: AnalysisConfig::off(),
         }
     }
 }
@@ -188,9 +195,9 @@ struct MpsState {
     recv_reqs: Vec<RecvReq>,
     stash: VecDeque<NcsMsg>,
     /// Remaining send credits per destination (credit flow control).
-    credits: HashMap<usize, u32>,
+    credits: BTreeMap<usize, u32>,
     /// Data messages ingested per source since the last credit grant.
-    consumed: HashMap<usize, u32>,
+    consumed: BTreeMap<usize, u32>,
     /// The send thread is parked waiting for credits to this destination.
     send_waiting_credit: Option<usize>,
     shutdown: bool,
@@ -201,23 +208,23 @@ struct MpsState {
     /// High-water mark of buffered-but-unconsumed messages (the stash).
     peak_stash: usize,
     /// Error control: next sequence number per destination.
-    next_seq: HashMap<usize, u32>,
+    next_seq: BTreeMap<usize, u32>,
     /// Error control: sent-but-unacknowledged wrapped payloads, keyed by
     /// (destination process, sequence number).
-    unacked: HashMap<(usize, u32), UnackedMsg>,
+    unacked: BTreeMap<(usize, u32), UnackedMsg>,
     /// Statistics: retransmissions performed.
     retransmits: u64,
     /// Receive-request id allocator.
     next_req_id: u64,
     /// Error control: sequence numbers already delivered, per source — a
     /// retransmitted frame whose ACK was lost must not be delivered twice.
-    seen_seqs: HashMap<usize, std::collections::HashSet<u32>>,
+    seen_seqs: BTreeMap<usize, BTreeSet<u32>>,
     /// Error control: per-destination RTT estimator driving the adaptive
     /// retransmission timeout.
-    rtt: HashMap<usize, RttEstimator>,
+    rtt: BTreeMap<usize, RttEstimator>,
     /// Destinations whose retry budget was exhausted: sends to them fail
     /// fast with [`EXC_DELIVERY_FAILED`] instead of queueing.
-    dead_peers: std::collections::HashSet<usize>,
+    dead_peers: BTreeSet<usize>,
     /// Statistics: timeout-driven backoff doublings.
     backoff_events: u64,
     /// Statistics: clean RTT samples folded into an estimator.
@@ -412,7 +419,11 @@ impl NcsProc {
             assert!(n <= net.nodes(), "more processes than testbed nodes");
         }
         assert!(id < n);
-        let mts = Mts::new(sim, format!("proc{id}"), cfg.mts.clone());
+        let mut mts_cfg = cfg.mts.clone();
+        if cfg.analysis.active() && !mts_cfg.analysis.active() {
+            mts_cfg.analysis = cfg.analysis.clone();
+        }
+        let mts = Mts::new(sim, format!("proc{id}"), mts_cfg);
         let merged = SimChannel::unbounded(format!("ncs-merged-{id}"));
         let inner = Arc::new(ProcInner {
             id,
@@ -426,21 +437,21 @@ impl NcsProc {
                 send_q: VecDeque::new(),
                 recv_reqs: Vec::new(),
                 stash: VecDeque::new(),
-                credits: HashMap::new(),
-                consumed: HashMap::new(),
+                credits: BTreeMap::new(),
+                consumed: BTreeMap::new(),
                 send_waiting_credit: None,
                 shutdown: false,
                 user_live: 0,
                 sent_msgs: 0,
                 recv_msgs: 0,
                 peak_stash: 0,
-                next_seq: HashMap::new(),
-                unacked: HashMap::new(),
+                next_seq: BTreeMap::new(),
+                unacked: BTreeMap::new(),
                 retransmits: 0,
                 next_req_id: 0,
-                seen_seqs: HashMap::new(),
-                rtt: HashMap::new(),
-                dead_peers: std::collections::HashSet::new(),
+                seen_seqs: BTreeMap::new(),
+                rtt: BTreeMap::new(),
+                dead_peers: BTreeSet::new(),
                 backoff_events: 0,
                 rtt_samples: 0,
                 delivery_failures: 0,
@@ -832,7 +843,7 @@ impl NcsCtx<'_> {
                     .expect("send thread missing")
             };
             self.mctx.unblock(send_tid);
-            self.mctx.block();
+            self.mctx.block_on(send_tid);
         }
         let t1 = self.ctx().now();
         self.proc.inner.sim.with_tracer(|tr| {
@@ -989,7 +1000,12 @@ impl NcsCtx<'_> {
                         slot: Arc::clone(&slot),
                     });
                 }
-                self.mctx.block();
+                // Record the wait edge toward the receive system thread
+                // (the usual waker) for deadlock analysis.
+                match self.proc.inner.sys.lock().recv {
+                    Some(t) if t != self.mctx.tid() => self.mctx.block_on(t),
+                    _ => self.mctx.block(),
+                }
                 slot.lock().take().expect("recv unblocked without message")
             }
         };
@@ -1209,6 +1225,18 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
             Some(u) => {
                 u.retries += 1;
                 u.retransmitted = true; // Karn: its ACK is now ambiguous
+                // Budget accounting: the give-up branch above must fire
+                // before a frame can exceed its configured retry budget.
+                if inner.cfg.analysis.active() && u.retries > inner.cfg.max_retries {
+                    inner.cfg.analysis.report(
+                        "retransmit-budget",
+                        format!("proc{}", inner.id),
+                        format!(
+                            "frame (proc{dst}, seq {seq}) at {} retries exceeds budget {}",
+                            u.retries, inner.cfg.max_retries
+                        ),
+                    );
+                }
                 let req = SendReq {
                     from_thread: u.from_thread,
                     to: u.to,
@@ -1318,6 +1346,19 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                 *c += 1;
                 s
             };
+            // Monotonicity: a freshly allocated sequence number must never
+            // collide with a frame still awaiting acknowledgement (u32
+            // wrap-around with a full window would silently reuse one).
+            if inner.cfg.analysis.active() && st.unacked.contains_key(&(req.to.proc, seq)) {
+                inner.cfg.analysis.report(
+                    "seq-monotonicity",
+                    format!("proc{}", inner.id),
+                    format!(
+                        "seq {seq} toward proc{} re-allocated while still unacknowledged",
+                        req.to.proc
+                    ),
+                );
+            }
             let wrapped = wrap_checked(seq, &req.data);
             st.unacked.insert(
                 (req.to.proc, seq),
@@ -1363,7 +1404,15 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                     if ok {
                         break;
                     }
-                    m.block(); // woken when credits arrive (or the peer dies)
+                    // Woken when credits arrive (or the peer dies). The
+                    // grant comes in through the receive system thread, so
+                    // record the wait edge toward it for the deadlock
+                    // analysis; it is External (never Blocked) and cannot
+                    // close a false cycle.
+                    match inner.sys.lock().recv {
+                        Some(t) => m.block_on(t),
+                        None => m.block(),
+                    }
                 }
             }
         }
@@ -1449,6 +1498,22 @@ fn recv_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                 match_requests(inner, &mut st);
             }
             Err(_closed) => break,
+        }
+    }
+    // Conservation at shutdown: every data message that reached this
+    // process must have been consumed by some thread; data stranded in the
+    // stash was sent (and acknowledged) but never received.
+    if inner.cfg.analysis.active() {
+        let st = inner.state.lock();
+        for msg in st.stash.iter().filter(|s| s.class == MsgClass::Data) {
+            inner.cfg.analysis.report(
+                "unconsumed-message",
+                format!("proc{}", inner.id),
+                format!(
+                    "data message tag {} from proc{}/t{} to thread {} was never received",
+                    msg.tag, msg.from.proc, msg.from.thread, msg.to_thread
+                ),
+            );
         }
     }
 }
@@ -1546,6 +1611,22 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             let seq = user_tag;
             let (empty_after, shutdown) = {
                 let mut st = inner.state.lock();
+                // Monotonicity: an ACK can only name a sequence number this
+                // process has already allocated toward that peer.
+                if inner.cfg.analysis.active() {
+                    let allocated = st.next_seq.get(&from.proc).copied().unwrap_or(0);
+                    if seq >= allocated {
+                        inner.cfg.analysis.report(
+                            "ack-unallocated-seq",
+                            format!("proc{}", inner.id),
+                            format!(
+                                "ACK from proc{} names seq {seq}, but only {allocated} \
+                                 sequence numbers were ever allocated toward it",
+                                from.proc
+                            ),
+                        );
+                    }
+                }
                 if let Some(u) = st.unacked.remove(&(from.proc, seq)) {
                     if !u.retransmitted {
                         // Karn's rule: only frames never retransmitted give
@@ -1614,7 +1695,25 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
         MsgClass::Credit => {
             let wake = {
                 let mut st = inner.state.lock();
-                *st.credits.entry(from.proc).or_insert(0) += user_tag;
+                let c = st.credits.entry(from.proc).or_insert(0);
+                *c += user_tag;
+                let total = *c;
+                // Conservation: credits in flight plus credits held can
+                // never exceed the window the receiver seeded.
+                if inner.cfg.analysis.active() {
+                    if let FlowControl::Credit { window } = inner.cfg.flow {
+                        if total > window {
+                            inner.cfg.analysis.report(
+                                "credit-conservation",
+                                format!("proc{}", inner.id),
+                                format!(
+                                    "credits toward proc{} reached {total}, window {window}",
+                                    from.proc
+                                ),
+                            );
+                        }
+                    }
+                }
                 st.send_waiting_credit == Some(from.proc)
             };
             if wake {

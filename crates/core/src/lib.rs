@@ -23,6 +23,7 @@
 //! [`ncs_net::AtmApiNet`]; a process may carry both tiers at once (NSM +
 //! HSM) and pick per message with [`env::NcsCtx::send_via`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;

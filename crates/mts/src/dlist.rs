@@ -49,6 +49,12 @@ impl LinkArena {
     pub fn on_list(&self, s: Slot) -> bool {
         self.links[s as usize].on_list
     }
+
+    /// The raw `(prev, next)` links of `s` (queue-invariant validation).
+    pub fn prev_next(&self, s: Slot) -> (Option<Slot>, Option<Slot>) {
+        let l = &self.links[s as usize];
+        (l.prev, l.next)
+    }
 }
 
 /// Head/tail of one doubly-linked queue.
@@ -123,6 +129,60 @@ impl ListHead {
             None => self.tail = prev,
         }
         self.len -= 1;
+    }
+
+    /// Walks the whole list checking the structural invariants that the
+    /// debug assertions only probe pointwise: every linked slot is marked
+    /// on a list, back-links mirror forward links (what makes O(1)
+    /// [`ListHead::unlink`] sound), the walk terminates within the arena
+    /// size (no circularity), and the cached length is accurate.
+    ///
+    /// Returns the slots front-to-back on success, or a description of the
+    /// first corruption found. This is the promoted, always-available form
+    /// of the queue invariants; the runtime analysis pass runs it after
+    /// scheduling operations when enabled.
+    pub fn validate(&self, arena: &LinkArena) -> Result<Vec<Slot>, String> {
+        let cap = arena.slots();
+        let mut seen: Vec<Slot> = Vec::new();
+        let mut prev: Option<Slot> = None;
+        let mut cur = self.head;
+        while let Some(s) = cur {
+            if seen.len() >= cap {
+                return Err(format!(
+                    "list is circular: walked {} slots in an arena of {cap}",
+                    seen.len() + 1
+                ));
+            }
+            if (s as usize) >= cap {
+                return Err(format!("slot {s} is outside the arena of {cap}"));
+            }
+            if !arena.on_list(s) {
+                return Err(format!("slot {s} is linked but not marked on a list"));
+            }
+            let (p, n) = arena.prev_next(s);
+            if p != prev {
+                return Err(format!(
+                    "slot {s} back-link {p:?} does not match predecessor {prev:?}"
+                ));
+            }
+            seen.push(s);
+            prev = Some(s);
+            cur = n;
+        }
+        if self.tail != prev {
+            return Err(format!(
+                "tail {:?} does not match last walked slot {prev:?}",
+                self.tail
+            ));
+        }
+        if self.len != seen.len() {
+            return Err(format!(
+                "cached length {} does not match walked length {}",
+                self.len,
+                seen.len()
+            ));
+        }
+        Ok(seen)
     }
 
     /// Iterates front-to-back (diagnostics and tests).
@@ -221,6 +281,67 @@ mod tests {
             l.push_back(&mut a, x);
         }
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_lists() {
+        let mut a = LinkArena::new();
+        let s: Vec<Slot> = (0..5).map(|_| a.add_slot()).collect();
+        let mut l = ListHead::new();
+        assert_eq!(l.validate(&a).unwrap(), Vec::<Slot>::new());
+        for &x in &s {
+            l.push_back(&mut a, x);
+        }
+        assert_eq!(l.validate(&a).unwrap(), s);
+        l.unlink(&mut a, s[2]);
+        assert_eq!(l.validate(&a).unwrap(), vec![s[0], s[1], s[3], s[4]]);
+    }
+
+    #[test]
+    fn validate_reports_corruption() {
+        // The test module sees private fields, so it can corrupt a list in
+        // ways safe callers cannot — exactly what validate() must catch.
+        let mut a = LinkArena::new();
+        let s: Vec<Slot> = (0..3).map(|_| a.add_slot()).collect();
+        let mut l = ListHead::new();
+        for &x in &s {
+            l.push_back(&mut a, x);
+        }
+        // Cached length drifts.
+        let mut bad = l;
+        bad.len = 5;
+        assert!(bad.validate(&a).unwrap_err().contains("length"));
+        // Back-link broken (O(1) unlink would corrupt the queue).
+        let mut a2 = LinkArena::new();
+        for _ in 0..3 {
+            a2.add_slot();
+        }
+        let mut l2 = ListHead::new();
+        for &x in &s {
+            l2.push_back(&mut a2, x);
+        }
+        a2.links[2].prev = Some(0);
+        assert!(l2.validate(&a2).unwrap_err().contains("back-link"));
+        // Circular list terminates with an error instead of hanging.
+        let mut a3 = LinkArena::new();
+        for _ in 0..2 {
+            a3.add_slot();
+        }
+        let mut l3 = ListHead::new();
+        l3.push_back(&mut a3, 0);
+        l3.push_back(&mut a3, 1);
+        a3.links[1].next = Some(0);
+        assert!(l3.validate(&a3).unwrap_err().contains("circular"));
+        // Linked slot not marked on a list.
+        let mut a4 = LinkArena::new();
+        for _ in 0..2 {
+            a4.add_slot();
+        }
+        let mut l4 = ListHead::new();
+        l4.push_back(&mut a4, 0);
+        l4.push_back(&mut a4, 1);
+        a4.links[1].on_list = false;
+        assert!(l4.validate(&a4).unwrap_err().contains("not marked"));
     }
 
     #[cfg(debug_assertions)]

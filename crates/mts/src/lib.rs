@@ -11,11 +11,15 @@
 //! [`sync`] adds the synchronization objects the paper lists as NCS_MTS
 //! services (semaphores, barriers, events) built purely on block/unblock.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dlist;
 pub mod runtime;
 pub mod sync;
 
-pub use runtime::{Mts, MtsConfig, MtsCtx, MtsStats, MtsTid, SchedPolicy, PRIORITY_LEVELS};
+pub use runtime::{
+    Mts, MtsConfig, MtsCtx, MtsStats, MtsThreadReport, MtsThreadState, MtsTid, SchedPolicy,
+    PRIORITY_LEVELS,
+};
 pub use sync::{MtsBarrier, MtsEvent, MtsSemaphore};

@@ -21,7 +21,7 @@
 //! unless done through [`MtsCtx::external_block`], which is how NCS's
 //! receive thread waits for the network while sibling threads keep running.
 
-use ncs_sim::{Ctx, Dur, Sim, SimTime, SpanKind, ThreadId};
+use ncs_sim::{AnalysisConfig, Ctx, Dur, Sim, SimTime, SpanKind, ThreadId, WaitGraph};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -72,6 +72,10 @@ struct Tcb {
     dispatches: u64,
     /// MTS threads waiting in [`MtsCtx::join`] for this one to exit.
     exit_waiters: Vec<MtsTid>,
+    /// The sibling this thread is blocked on, when known — a wait-for edge
+    /// for deadlock detection. `None` for timed sleeps and anonymous
+    /// blocks (anything may wake those).
+    wait_on: Option<MtsTid>,
 }
 
 struct Inner {
@@ -89,6 +93,10 @@ struct Inner {
     switches: u64,
     idle_since: Option<SimTime>,
     total_idle: Dur,
+    analysis: AnalysisConfig,
+    /// Deadlock cycles already reported, so a stuck process does not spam
+    /// one violation per idle transition.
+    reported_cycles: Vec<Vec<u32>>,
 }
 
 impl Inner {
@@ -149,6 +157,9 @@ pub struct MtsConfig {
     pub context_switch: Dur,
     /// Scheduling discipline.
     pub policy: SchedPolicy,
+    /// Runtime analysis pass (deadlock detection, queue-invariant
+    /// validation). Off by default; see [`AnalysisConfig::recording`].
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for MtsConfig {
@@ -156,6 +167,7 @@ impl Default for MtsConfig {
         MtsConfig {
             context_switch: Dur::from_micros(15),
             policy: SchedPolicy::default(),
+            analysis: AnalysisConfig::off(),
         }
     }
 }
@@ -181,6 +193,10 @@ impl Mts {
     /// that sets up threading; system threads are layered on top by
     /// ncs-core).
     pub fn new(sim: &Sim, proc_name: impl Into<String>, config: MtsConfig) -> Mts {
+        if config.analysis.active() {
+            // Arm the kernel-side lost-wakeup report with the same sink.
+            sim.set_analysis(config.analysis.clone());
+        }
         Mts {
             sim: sim.clone(),
             inner: Arc::new(Mutex::new(Inner {
@@ -198,6 +214,8 @@ impl Mts {
                 switches: 0,
                 idle_since: None,
                 total_idle: Dur::ZERO,
+                analysis: config.analysis,
+                reported_cycles: Vec::new(),
             })),
         }
     }
@@ -231,9 +249,11 @@ impl Mts {
                 total_blocked: Dur::ZERO,
                 dispatches: 0,
                 exit_waiters: Vec::new(),
+                wait_on: None,
             });
             inner.push_runnable(slot);
             inner.live += 1;
+            self.queue_check(&inner, "spawn");
         }
         let mts = self.clone();
         let green_name = {
@@ -293,6 +313,7 @@ impl Mts {
             TState::Exited => {}
             _ => inner.tcbs[tid.0 as usize].permit = true,
         }
+        self.queue_check(&inner, "unblock");
     }
 
     /// Whether any thread is waiting in a runnable queue.
@@ -349,7 +370,11 @@ impl Mts {
 
     /// Puts an unblocked thread on the CPU if it is idle, else queues it.
     fn make_runnable_or_dispatch(&self, inner: &mut Inner, tid: MtsTid, sim: &Sim) {
-        inner.tcbs[tid.0 as usize].state = TState::Runnable;
+        {
+            let tcb = &mut inner.tcbs[tid.0 as usize];
+            tcb.state = TState::Runnable;
+            tcb.wait_on = None;
+        }
         inner.push_runnable(tid.0);
         if inner.started && inner.running.is_none() {
             self.dispatch_next_at(inner, sim.now());
@@ -393,9 +418,113 @@ impl Mts {
                 inner.running = None;
                 if inner.idle_since.is_none() {
                     inner.idle_since = Some(now);
+                    // The process just went idle: every thread is blocked or
+                    // gone, the moment a wait-for cycle becomes a deadlock.
+                    if inner.analysis.active() {
+                        Self::deadlock_scan(inner);
+                    }
                 }
             }
         }
+        self.queue_check(inner, "dispatch");
+    }
+
+    /// Reports each not-yet-seen wait-for cycle among blocked threads.
+    fn deadlock_scan(inner: &mut Inner) {
+        for cycle in Self::wait_cycles(inner) {
+            if inner.reported_cycles.contains(&cycle) {
+                continue;
+            }
+            let edges: Vec<String> = cycle
+                .iter()
+                .map(|&t| {
+                    let tcb = &inner.tcbs[t as usize];
+                    let target = match tcb.wait_on {
+                        Some(w) => format!("t{}/{}", w.0, inner.tcbs[w.0 as usize].name),
+                        None => "?".to_string(),
+                    };
+                    format!("t{t}/{} -> {target}", tcb.name)
+                })
+                .collect();
+            inner.analysis.report(
+                "deadlock",
+                inner.proc_name.clone(),
+                format!("cyclic wait among blocked threads: {}", edges.join(", ")),
+            );
+            inner.reported_cycles.push(cycle);
+        }
+    }
+
+    /// Wait-for cycles among currently blocked threads, as sorted slot
+    /// groups (deterministic order).
+    fn wait_cycles(inner: &Inner) -> Vec<Vec<u32>> {
+        let mut g = WaitGraph::new(inner.tcbs.len());
+        for (i, tcb) in inner.tcbs.iter().enumerate() {
+            if tcb.state != TState::Blocked {
+                continue;
+            }
+            if let Some(w) = tcb.wait_on {
+                if inner.tcbs[w.0 as usize].state == TState::Blocked {
+                    g.add_edge(i, w.0 as usize);
+                }
+            }
+        }
+        g.cycles()
+            .into_iter()
+            .map(|c| c.into_iter().map(|x| x as u32).collect())
+            .collect()
+    }
+
+    /// Runs the promoted dlist invariants over every scheduler queue when
+    /// the analysis pass is active.
+    fn queue_check(&self, inner: &Inner, op: &'static str) {
+        if !inner.analysis.active() {
+            return;
+        }
+        for problem in Self::validate_inner(inner) {
+            inner.analysis.report(
+                "queue-invariant",
+                inner.proc_name.clone(),
+                format!("after {op}: {problem}"),
+            );
+        }
+    }
+
+    fn validate_inner(inner: &Inner) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut membership = vec![0u32; inner.arena.slots()];
+        let mut lists: Vec<(String, &ListHead)> = inner
+            .runnable
+            .iter()
+            .enumerate()
+            .map(|(p, l)| (format!("runnable[{p}]"), l))
+            .collect();
+        lists.push(("blocked".to_string(), &inner.blocked));
+        for (label, list) in lists {
+            match list.validate(&inner.arena) {
+                Ok(walk) => {
+                    for s in walk {
+                        membership[s as usize] += 1;
+                    }
+                }
+                Err(e) => problems.push(format!("{label}: {e}")),
+            }
+        }
+        for (i, &count) in membership.iter().enumerate() {
+            if count > 1 {
+                problems.push(format!("t{i} is on {count} lists at once"));
+            }
+            if let Some(tcb) = inner.tcbs.get(i) {
+                let queued = matches!(tcb.state, TState::Runnable | TState::Blocked);
+                if queued != (count == 1) && count <= 1 {
+                    problems.push(format!(
+                        "t{i}/{} is {:?} but on {count} scheduler lists",
+                        tcb.name, tcb.state
+                    ));
+                }
+            }
+        }
+        problems
     }
 
     fn thread_exited(&self, ctx: &Ctx, tid: MtsTid) {
@@ -423,6 +552,78 @@ impl Mts {
     pub fn has_exited(&self, tid: MtsTid) -> bool {
         self.inner.lock().tcbs[tid.0 as usize].state == TState::Exited
     }
+
+    /// Snapshot of every thread's scheduling state and wait edge — what a
+    /// post-run analysis pass uses to classify stuck threads.
+    pub fn thread_report(&self) -> Vec<MtsThreadReport> {
+        let inner = self.inner.lock();
+        inner
+            .tcbs
+            .iter()
+            .enumerate()
+            .map(|(i, tcb)| MtsThreadReport {
+                tid: MtsTid(i as u32),
+                name: tcb.name.clone(),
+                state: match tcb.state {
+                    TState::Runnable => MtsThreadState::Runnable,
+                    TState::Running => MtsThreadState::Running,
+                    TState::Blocked => MtsThreadState::Blocked,
+                    TState::External => MtsThreadState::External,
+                    TState::Exited => MtsThreadState::Exited,
+                },
+                wait_on: tcb.wait_on,
+                blocked_since: tcb.blocked_since,
+            })
+            .collect()
+    }
+
+    /// Wait-for cycles among the currently blocked threads. Each cycle is
+    /// sorted by thread id; an empty result means no deadlock is provable
+    /// from the recorded wait edges.
+    pub fn deadlock_cycles(&self) -> Vec<Vec<MtsTid>> {
+        let inner = self.inner.lock();
+        Self::wait_cycles(&inner)
+            .into_iter()
+            .map(|c| c.into_iter().map(MtsTid).collect())
+            .collect()
+    }
+
+    /// Runs the promoted dlist queue invariants over every scheduler list
+    /// right now, returning a description of each corruption found (empty
+    /// when all queues are sound).
+    pub fn validate_queues(&self) -> Vec<String> {
+        Self::validate_inner(&self.inner.lock())
+    }
+}
+
+/// Externally visible scheduling state in a [`MtsThreadReport`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MtsThreadState {
+    /// Waiting in a runnable queue.
+    Runnable,
+    /// Owns the process CPU.
+    Running,
+    /// In the blocked queue.
+    Blocked,
+    /// Parked in a kernel-level wait ([`MtsCtx::external_block`]).
+    External,
+    /// Finished.
+    Exited,
+}
+
+/// One thread's scheduling snapshot (see [`Mts::thread_report`]).
+#[derive(Clone, Debug)]
+pub struct MtsThreadReport {
+    /// Thread id within the process.
+    pub tid: MtsTid,
+    /// Thread name.
+    pub name: String,
+    /// Scheduling state at snapshot time.
+    pub state: MtsThreadState,
+    /// Recorded wait-for edge, if the thread named what it waits on.
+    pub wait_on: Option<MtsTid>,
+    /// When the thread last blocked, if currently blocked.
+    pub blocked_since: Option<SimTime>,
 }
 
 /// Per-thread handle passed to MTS thread bodies.
@@ -476,6 +677,19 @@ impl MtsCtx<'_> {
     /// Blocks this thread (`NCS_block`) until someone calls
     /// [`Mts::unblock`]. Returns immediately if a permit is pending.
     pub fn block(&self) {
+        self.block_inner(None);
+    }
+
+    /// [`MtsCtx::block`], recording that this thread is waiting for
+    /// sibling `on` to act — a wait-for edge the analysis pass feeds into
+    /// deadlock detection. Semantics are otherwise identical to `block`;
+    /// any thread may still perform the unblock.
+    pub fn block_on(&self, on: MtsTid) {
+        assert_ne!(on, self.tid, "a thread cannot wait on itself");
+        self.block_inner(Some(on));
+    }
+
+    fn block_inner(&self, wait_on: Option<MtsTid>) {
         {
             let mut inner = self.mts.inner.lock();
             debug_assert_eq!(inner.running, Some(self.tid));
@@ -488,6 +702,7 @@ impl MtsCtx<'_> {
                 tcb.state = TState::Blocked;
                 tcb.blocked_since = Some(now);
                 tcb.sleep_gen += 1;
+                tcb.wait_on = wait_on;
             }
             inner.push_blocked(self.tid.0);
             inner.running = None;
@@ -550,7 +765,7 @@ impl MtsCtx<'_> {
                 }
                 inner.tcbs[tid.0 as usize].exit_waiters.push(self.tid);
             }
-            self.block();
+            self.block_on(tid);
         }
     }
 

@@ -12,7 +12,7 @@
 use bytes::Bytes;
 use ncs_sim::{Ctx, SimChannel};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ pub enum TrafficClass {
 }
 
 /// An open virtual circuit.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Vc {
     /// Local endpoint.
     pub local: NodeId,
@@ -70,9 +70,9 @@ impl std::error::Error for AtmApiError {}
 #[derive(Default)]
 pub struct VcTable {
     /// Next candidate VCI per remote node.
-    next: HashMap<NodeId, u16>,
+    next: BTreeMap<NodeId, u16>,
     /// Open circuits and their traffic class.
-    open: HashMap<Vc, TrafficClass>,
+    open: BTreeMap<Vc, TrafficClass>,
 }
 
 impl VcTable {
@@ -97,7 +97,7 @@ impl VcTable {
                 *next = FIRST_USER_VCI;
             }
             let vc = Vc { local, remote, vci };
-            if let std::collections::hash_map::Entry::Vacant(e) = self.open.entry(vc) {
+            if let std::collections::btree_map::Entry::Vacant(e) = self.open.entry(vc) {
                 e.insert(class);
                 return Ok(vc);
             }

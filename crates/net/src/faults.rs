@@ -28,7 +28,7 @@
 use bytes::Bytes;
 use ncs_sim::{Ctx, Dur, SimChannel, SimRng, SimTime};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -144,7 +144,7 @@ pub struct ChaosNet {
     rng: Mutex<SimRng>,
     stats: Arc<FaultStats>,
     /// Crash-stop schedule: node → instant after which it is dead.
-    crashes: Mutex<HashMap<usize, SimTime>>,
+    crashes: Mutex<BTreeMap<usize, SimTime>>,
 }
 
 impl ChaosNet {
@@ -158,7 +158,7 @@ impl ChaosNet {
             inner,
             rng: Mutex::new(SimRng::new(params.seed)),
             stats: Arc::new(FaultStats::default()),
-            crashes: Mutex::new(HashMap::new()),
+            crashes: Mutex::new(BTreeMap::new()),
             params,
         })
     }
@@ -225,7 +225,7 @@ impl ChaosNet {
         // materialized cell stream to decide the PDU's fate.
         let cells = aal5::segment(chunk, 0, 32);
         debug_assert_eq!(cells.len(), n_cells);
-        let flip_map: HashMap<usize, &[usize]> = flips
+        let flip_map: BTreeMap<usize, &[usize]> = flips
             .iter()
             .map(|(i, bits)| (*i, bits.as_slice()))
             .collect();

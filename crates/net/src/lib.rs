@@ -20,6 +20,7 @@
 //!   crash-stop nodes, as a [`Network`] decorator; deterministic link
 //!   flap windows and switch-buffer overflow live on [`link`] and [`atm`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aal34;

@@ -11,6 +11,7 @@
 //! performance gap the paper reports between "p4" and "NCS_MTS/p4" traces
 //! back to that difference.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod proc;

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::analysis::AnalysisConfig;
 use crate::time::{Dur, SimTime};
 use crate::trace::Tracer;
 
@@ -221,6 +222,7 @@ struct Inner {
     running: AtomicBool,
     finished: AtomicBool,
     trace_hash: AtomicU64,
+    analysis: Mutex<AnalysisConfig>,
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
@@ -268,6 +270,7 @@ impl Sim {
                 running: AtomicBool::new(false),
                 finished: AtomicBool::new(false),
                 trace_hash: AtomicU64::new(0xcbf2_9ce4_8422_2325),
+                analysis: Mutex::new(AnalysisConfig::default()),
             }),
         }
     }
@@ -281,6 +284,20 @@ impl Sim {
     /// program with the same seed produce the same hash.
     pub fn trace_hash(&self) -> u64 {
         self.inner.trace_hash.load(Ordering::SeqCst)
+    }
+
+    /// Installs the runtime-analysis configuration for this simulation.
+    ///
+    /// With an active config, a run that drains its event queue while green
+    /// threads are still parked reports each of them as a `lost-wakeup`
+    /// violation: nothing left in the queue can ever unblock them.
+    pub fn set_analysis(&self, cfg: AnalysisConfig) {
+        *self.inner.analysis.lock() = cfg;
+    }
+
+    /// Number of events still waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.inner.queue.lock().len()
     }
 
     /// Access to the span/event tracer (used by the timeline figures).
@@ -360,7 +377,9 @@ impl Sim {
         }
         let sim = self.clone();
         let thread_baton = Arc::clone(&baton);
-        let handle = std::thread::Builder::new()
+        // Green threads are backed by parked OS threads under the baton
+        // protocol; this is the one sanctioned spawn site in the sim.
+        let handle = std::thread::Builder::new() // ncs-lint: allow(thread-spawn)
             .name(format!("sim-{name}"))
             .stack_size(2 * 1024 * 1024)
             .spawn(move || {
@@ -530,6 +549,19 @@ impl Sim {
                 .map(|s| s.name.clone())
                 .collect()
         };
+        if reason == StopReason::Completed && !blocked.is_empty() {
+            let analysis = self.inner.analysis.lock().clone();
+            if analysis.active() {
+                for name in &blocked {
+                    analysis.report(
+                        "lost-wakeup",
+                        name.clone(),
+                        "still parked after the event queue drained; no pending \
+                         event, timer, or in-flight frame can unblock it",
+                    );
+                }
+            }
+        }
         let panics = self.inner.panics.lock().clone();
         RunOutcome {
             end_time: self.now(),

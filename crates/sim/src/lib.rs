@@ -14,7 +14,9 @@
 //! * [`FifoResource`] — counted FIFO resources (buses, links, buffer pools);
 //! * [`SimChannel`] — blocking queues between simulated activities;
 //! * [`Tracer`] — span recording for the paper's timeline figures;
-//! * [`SimRng`] — seeded, splittable randomness.
+//! * [`SimRng`] — seeded, splittable randomness;
+//! * [`analysis`] — runtime-analysis primitives (violation sink,
+//!   wait-for-graph cycle detection) shared by the layers above.
 //!
 //! ```
 //! use ncs_sim::{Dur, Sim};
@@ -27,8 +29,10 @@
 //! sim.run().assert_clean();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod channel;
 mod kernel;
 mod resource;
@@ -37,6 +41,7 @@ mod stats;
 mod time;
 mod trace;
 
+pub use analysis::{AnalysisConfig, InvariantSink, Violation, WaitGraph};
 pub use channel::{Closed, SimChannel};
 pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId};
 pub use resource::FifoResource;

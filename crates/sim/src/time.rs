@@ -50,7 +50,7 @@ impl Dur {
 
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// picosecond. Panics on negative or non-finite input.
-    pub fn from_secs_f64(s: f64) -> Dur {
+    pub fn from_secs_f64(s: f64) -> Dur { // ncs-lint: allow(float-time)
         assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
         Dur((s * 1e12).round() as u64)
     }
@@ -92,8 +92,8 @@ impl Dur {
 
     /// This duration in fractional seconds.
     #[inline]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e12
+    pub fn as_secs_f64(self) -> f64 { // ncs-lint: allow(float-time)
+        self.0 as f64 / 1e12 // ncs-lint: allow(float-time)
     }
 
     /// Saturating subtraction.
@@ -187,13 +187,13 @@ impl fmt::Display for Dur {
         } else if ps < 1_000 {
             write!(f, "{ps}ps")
         } else if ps < 1_000_000 {
-            write!(f, "{:.3}ns", ps as f64 / 1e3)
+            write!(f, "{:.3}ns", ps as f64 / 1e3) // ncs-lint: allow(float-time)
         } else if ps < 1_000_000_000 {
-            write!(f, "{:.3}us", ps as f64 / 1e6)
+            write!(f, "{:.3}us", ps as f64 / 1e6) // ncs-lint: allow(float-time)
         } else if ps < 1_000_000_000_000 {
-            write!(f, "{:.3}ms", ps as f64 / 1e9)
+            write!(f, "{:.3}ms", ps as f64 / 1e9) // ncs-lint: allow(float-time)
         } else {
-            write!(f, "{:.6}s", ps as f64 / 1e12)
+            write!(f, "{:.6}s", ps as f64 / 1e12) // ncs-lint: allow(float-time)
         }
     }
 }
@@ -220,8 +220,8 @@ impl SimTime {
 
     /// Seconds since the epoch, as a float (for reporting only).
     #[inline]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e12
+    pub fn as_secs_f64(self) -> f64 { // ncs-lint: allow(float-time)
+        self.0 as f64 / 1e12 // ncs-lint: allow(float-time)
     }
 
     /// Duration elapsed since `earlier`. Panics if `earlier` is later.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification pipeline. The first three stages mirror CI
+# Full verification pipeline. The first four stages mirror CI
 # (.github/workflows/ci.yml) exactly; the rest are local extras:
 # benches (smoke), docs, and every experiment regenerator.
 set -euo pipefail
@@ -13,6 +13,9 @@ cargo test -q --workspace
 
 echo "== clippy (as CI) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== analysis: determinism lint + invariant smoke (as CI) =="
+cargo run --release -p ncs-analysis -- all
 
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test

@@ -24,6 +24,8 @@
 //! sim.run().assert_clean();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ncs_apps as apps;
 pub use ncs_core as core;
 pub use ncs_mts as mts;
