@@ -1001,8 +1001,11 @@ impl NcsCtx<'_> {
                     });
                 }
                 // Record the wait edge toward the receive system thread
-                // (the usual waker) for deadlock analysis.
-                match self.proc.inner.sys.lock().recv {
+                // (the usual waker) for deadlock analysis. Copy the tid out
+                // first: the waker runs on the receive system thread and
+                // takes `sys`, so the guard must not be held across the park.
+                let recv = self.proc.inner.sys.lock().recv;
+                match recv {
                     Some(t) if t != self.mctx.tid() => self.mctx.block_on(t),
                     _ => self.mctx.block(),
                 }
@@ -1408,8 +1411,11 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                     // grant comes in through the receive system thread, so
                     // record the wait edge toward it for the deadlock
                     // analysis; it is External (never Blocked) and cannot
-                    // close a false cycle.
-                    match inner.sys.lock().recv {
+                    // close a false cycle. Copy the tid out first: the
+                    // grant path takes `sys`, so the guard must not be
+                    // held across the park.
+                    let recv = inner.sys.lock().recv;
+                    match recv {
                         Some(t) => m.block_on(t),
                         None => m.block(),
                     }

@@ -539,7 +539,7 @@ impl Sim {
             self.inner.now_ps.store(limit.as_ps(), Ordering::SeqCst);
         }
         self.inner.running.store(false, Ordering::SeqCst);
-        let blocked = {
+        let blocked: Vec<String> = {
             let table = self.inner.threads.lock();
             table
                 .iter()
