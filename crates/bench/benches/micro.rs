@@ -39,9 +39,9 @@ fn bench_aal5(c: &mut Criterion) {
     let payload = vec![0x3Cu8; 8192];
     g.throughput(Throughput::Bytes(8192));
     g.bench_function("segment-8k", |b| {
-        b.iter(|| aal5::segment(black_box(&payload), 1, 42))
+        b.iter(|| aal5::segment(black_box(&payload), 1, 42).unwrap())
     });
-    let cells = aal5::segment(&payload, 1, 42);
+    let cells = aal5::segment(&payload, 1, 42).unwrap();
     g.bench_function("reassemble-8k", |b| {
         b.iter(|| aal5::reassemble(black_box(&cells)).unwrap())
     });

@@ -1,0 +1,346 @@
+//! Extension experiment **X8**: the pipelined Approach-2 data path.
+//!
+//! Three questions about the multiple-I/O-buffer design of the paper's
+//! Figure 2, now that large messages stream through a pool of buffer-sized
+//! CS-PDUs instead of one monolithic AAL5 PDU:
+//!
+//! 1. **Event economy** — cell-train delivery schedules one simulator
+//!    event per train (timestamps inside a train are derived
+//!    arithmetically); per-cell delivery pays one event per 53-byte cell.
+//!    A bulk transfer is measured under both [`CellEventMode`]s and the
+//!    kernel-events-per-megabyte ratio reported (the acceptance bar is a
+//!    ≥2× reduction at 64 KiB and above).
+//! 2. **Buffer sweep** — the same bulk transfer with 1, 2, 4 and 8 I/O
+//!    buffers in flight: with one buffer every chunk waits out the
+//!    acknowledgment round trip; a deeper pool overlaps them.
+//! 3. **Applications** — matmul, JPEG and FFT run with buffers small
+//!    enough that their real traffic is chunked, with the protocol
+//!    invariants armed; results must stay bit-exact.
+//!
+//! Writes `results/BENCH_pipeline.json`.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin xp_pipeline [-- --smoke]
+//! ```
+
+use bytes::Bytes;
+use ncs_apps::fft::{fft_ncs_with, FftConfig};
+use ncs_apps::jpeg::EntropyKind;
+use ncs_apps::jpeg_dist::{setup_jpeg_ncs_with, JpegConfig};
+use ncs_apps::matmul::{setup_matmul_ncs_with, MatmulConfig};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig, NcsWorld, ThreadAddr};
+use ncs_net::atm::{AtmLanFabric, AtmLanParams};
+use ncs_net::stack::BlockingWait;
+use ncs_net::{AtmApiNet, AtmApiParams, CellEventMode, HostParams, Network, NodeId};
+use ncs_sim::{AnalysisConfig, Dur, Sim};
+use std::sync::Arc;
+
+/// A FORE-LAN High Speed Mode stack (the Approach-2 transport) with the
+/// chosen receive-side event granularity.
+fn hsm_stack(nodes: usize, cell_events: CellEventMode) -> Arc<dyn Network> {
+    let fabric = Arc::new(AtmLanFabric::new(AtmLanParams::fore_lan(nodes)));
+    let hosts = vec![HostParams::sparc_ipx(); nodes];
+    let params = AtmApiParams {
+        cell_events,
+        ..AtmApiParams::default()
+    };
+    Arc::new(AtmApiNet::new(fabric, hosts, params))
+}
+
+/// Raw one-shot transfer at the transport layer: how many simulator events
+/// does moving `bytes` from node 0 to node 1 cost? No NCS machinery on
+/// top, so the count isolates the data path itself.
+fn raw_transfer_events(bytes: usize, mode: CellEventMode) -> u64 {
+    let sim = Sim::new();
+    let net = hsm_stack(2, mode);
+    let tx = Arc::clone(&net);
+    let payload = Bytes::from(vec![0x5Au8; bytes]);
+    sim.spawn("tx", move |ctx| {
+        tx.send(ctx, &BlockingWait, NodeId(0), NodeId(1), 1, payload);
+    });
+    sim.spawn("rx", move |ctx| {
+        let m = net.inbox(NodeId(1)).recv(ctx).unwrap();
+        assert_eq!(m.payload.len(), bytes);
+    });
+    let out = sim.run();
+    out.assert_clean();
+    out.events
+}
+
+/// One rung of the buffer sweep: elapsed time, kernel events and chunk
+/// count for an NCS transfer of `bytes` with `io_buffers` in flight.
+struct SweepPoint {
+    bytes: usize,
+    io_buffers: u32,
+    elapsed: Dur,
+    events: u64,
+    chunks: u64,
+}
+
+/// Full-path NCS transfer over the HSM stack with the protocol invariants
+/// armed; panics on any violation or byte mismatch. Elapsed is the virtual
+/// time at which the receiving thread held the reassembled message (the
+/// run's `end_time` would instead measure the last chunk's trailing
+/// retransmission timer).
+fn ncs_transfer(bytes: usize, io_buffers: u32) -> SweepPoint {
+    use ncs_sim::SimTime;
+    use parking_lot::Mutex;
+    let (analysis, sink) = AnalysisConfig::recording();
+    let sim = Sim::new();
+    let net = hsm_stack(2, CellEventMode::Train);
+    let cfg = NcsConfig {
+        flow: FlowControl::Credit { window: 4 },
+        error: ErrorControl::ChecksumRetransmit,
+        io_buffers,
+        analysis,
+        ..NcsConfig::default()
+    };
+    let payload: Vec<u8> = (0..bytes).map(|i| (i * 131 + 17) as u8).collect();
+    let sent = Bytes::from(payload.clone());
+    let delivered_at = Arc::new(Mutex::new(SimTime::ZERO));
+    let da = Arc::clone(&delivered_at);
+    let world = NcsWorld::launch(&sim, vec![net], 2, cfg, move |id, proc_| {
+        let sent = sent.clone();
+        let expect = payload.clone();
+        let da = Arc::clone(&da);
+        proc_.t_create("w", 5, move |ncs| {
+            if id == 0 {
+                ncs.send(ThreadAddr::new(1, 0), 1, sent.clone());
+            } else {
+                let m = ncs.recv(Some(0), None, Some(1));
+                assert_eq!(&m.data[..], &expect[..], "transfer mangled bytes");
+                *da.lock() = ncs.ctx().now();
+            }
+        });
+    });
+    let out = sim.run();
+    out.assert_clean();
+    let violations = sink.take();
+    assert!(violations.is_empty(), "{violations:?}");
+    let (_, chunks, _) = world.procs()[0].pipeline_stats();
+    let elapsed = delivered_at.lock().since(SimTime::ZERO);
+    SweepPoint {
+        bytes,
+        io_buffers,
+        elapsed,
+        events: out.events,
+        chunks,
+    }
+}
+
+/// Application outcome with invariants armed and traffic forced through
+/// the chunked path (1 KiB I/O buffers).
+struct AppPoint {
+    app: &'static str,
+    elapsed: Dur,
+    verified: bool,
+}
+
+fn app_cfg(analysis: AnalysisConfig) -> NcsConfig {
+    NcsConfig {
+        flow: FlowControl::Credit { window: 4 },
+        error: ErrorControl::ChecksumRetransmit,
+        io_buffer_bytes: 1024,
+        analysis,
+        ..NcsConfig::default()
+    }
+}
+
+fn run_apps() -> Vec<AppPoint> {
+    let mut points = Vec::new();
+    {
+        let (analysis, sink) = AnalysisConfig::recording();
+        let sim = Sim::new();
+        let net = hsm_stack(3, CellEventMode::Train);
+        let cfg = MatmulConfig {
+            dim: 32,
+            nodes: 2,
+            seed: 7,
+        };
+        let handle = setup_matmul_ncs_with(&sim, net, cfg, app_cfg(analysis));
+        let out = sim.run();
+        out.assert_clean();
+        let violations = sink.take();
+        assert!(violations.is_empty(), "matmul: {violations:?}");
+        points.push(AppPoint {
+            app: "matmul",
+            elapsed: out.end_time.since(ncs_sim::SimTime::ZERO),
+            verified: handle.verify(),
+        });
+    }
+    {
+        let (analysis, sink) = AnalysisConfig::recording();
+        let sim = Sim::new();
+        let net = hsm_stack(3, CellEventMode::Train);
+        let cfg = JpegConfig {
+            width: 64,
+            height: 64,
+            quality: 75,
+            entropy: EntropyKind::RleVarint,
+            nodes: 2,
+            seed: 21,
+        };
+        let handle = setup_jpeg_ncs_with(&sim, net, cfg, app_cfg(analysis));
+        let out = sim.run();
+        out.assert_clean();
+        let violations = sink.take();
+        assert!(violations.is_empty(), "jpeg: {violations:?}");
+        points.push(AppPoint {
+            app: "jpeg",
+            elapsed: out.end_time.since(ncs_sim::SimTime::ZERO),
+            verified: handle.verify(),
+        });
+    }
+    {
+        let (analysis, sink) = AnalysisConfig::recording();
+        let net = hsm_stack(3, CellEventMode::Train);
+        let cfg = FftConfig {
+            m: 64,
+            sets: 1,
+            nodes: 2,
+            seed: 5,
+        };
+        let run = fft_ncs_with(net, cfg, app_cfg(analysis));
+        let violations = sink.take();
+        assert!(violations.is_empty(), "fft: {violations:?}");
+        points.push(AppPoint {
+            app: "fft",
+            elapsed: run.elapsed,
+            verified: run.verified,
+        });
+    }
+    points
+}
+
+fn per_mb(events: u64, bytes: usize) -> f64 {
+    events as f64 / (bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("# X8 — pipelined Approach-2 data path (multiple I/O buffers, cell trains)");
+    if smoke {
+        println!("# smoke mode: reduced sweep");
+    }
+
+    // Part 1: event economy, train vs per-cell delivery.
+    let sizes: &[usize] = if smoke {
+        &[64 * 1024]
+    } else {
+        &[16 * 1024, 64 * 1024, 256 * 1024]
+    };
+    println!("\n## kernel events per transfer: cell trains vs per-cell delivery");
+    let mut economy = Vec::new();
+    for &bytes in sizes {
+        let train = raw_transfer_events(bytes, CellEventMode::Train);
+        let percell = raw_transfer_events(bytes, CellEventMode::PerCell);
+        let reduction = percell as f64 / train as f64;
+        println!(
+            "  {:4} KiB | train {:6} ev ({:9.0}/MB) | per-cell {:6} ev ({:9.0}/MB) | {:4.1}x",
+            bytes / 1024,
+            train,
+            per_mb(train, bytes),
+            percell,
+            per_mb(percell, bytes),
+            reduction,
+        );
+        if bytes >= 64 * 1024 {
+            assert!(
+                train * 2 <= percell,
+                "{bytes}-byte transfer: train mode must at least halve kernel events \
+                 (train {train}, per-cell {percell})"
+            );
+        }
+        economy.push((bytes, train, percell, reduction));
+    }
+
+    // Part 2: I/O-buffer sweep over the full NCS path.
+    let buffer_counts: &[u32] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let sweep_sizes: &[usize] = if smoke {
+        &[64 * 1024]
+    } else {
+        &[64 * 1024, 256 * 1024]
+    };
+    println!("\n## I/O-buffer sweep (NCS over HSM, credit window 4, error control on)");
+    let mut sweep = Vec::new();
+    for &bytes in sweep_sizes {
+        let mut first = None;
+        let mut last = None;
+        for &bufs in buffer_counts {
+            let p = ncs_transfer(bytes, bufs);
+            println!(
+                "  {:4} KiB x {} buffers | {:9.6}s | {:6} ev | {:2} chunks",
+                p.bytes / 1024,
+                p.io_buffers,
+                p.elapsed.as_secs_f64(),
+                p.events,
+                p.chunks,
+            );
+            if bufs == buffer_counts[0] {
+                first = Some(p.elapsed);
+            }
+            last = Some(p.elapsed);
+            sweep.push(p);
+        }
+        let (one, deep) = (first.unwrap(), last.unwrap());
+        assert!(
+            deep <= one,
+            "{bytes}-byte transfer: {} buffers ({deep:?}) must not be slower than 1 ({one:?})",
+            buffer_counts.last().unwrap()
+        );
+    }
+
+    // Part 3: the applications, chunked and armed.
+    println!("\n## applications with 1 KiB I/O buffers (chunked traffic, invariants armed)");
+    let apps = run_apps();
+    for p in &apps {
+        println!(
+            "  {:6} | {:9.6}s | {}",
+            p.app,
+            p.elapsed.as_secs_f64(),
+            if p.verified { "BIT-EXACT" } else { "WRONG" },
+        );
+        assert!(p.verified, "{} must stay bit-exact when chunked", p.app);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n  \"experiment\": \"xp_pipeline\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"event_economy\": [\n"));
+    for (i, (bytes, train, percell, reduction)) in economy.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bytes\": {bytes}, \"train_events\": {train}, \"percell_events\": {percell}, \
+             \"train_events_per_mb\": {:.1}, \"percell_events_per_mb\": {:.1}, \
+             \"reduction\": {reduction:.2}}}{}\n",
+            per_mb(*train, *bytes),
+            per_mb(*percell, *bytes),
+            if i + 1 < economy.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"buffer_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bytes\": {}, \"io_buffers\": {}, \"elapsed_s\": {:.9}, \
+             \"events\": {}, \"chunks\": {}}}{}\n",
+            p.bytes,
+            p.io_buffers,
+            p.elapsed.as_secs_f64(),
+            p.events,
+            p.chunks,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"apps\": [\n");
+    for (i, p) in apps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"elapsed_s\": {:.9}, \"verified\": {}}}{}\n",
+            p.app,
+            p.elapsed.as_secs_f64(),
+            p.verified,
+            if i + 1 < apps.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote results/BENCH_pipeline.json");
+}

@@ -50,6 +50,11 @@ pub enum MsgClass {
     Nack = 6,
     /// Exception notification.
     Exception = 7,
+    /// One chunk of a large data message staged through the I/O-buffer
+    /// pool (the pipelined Approach-2 data path). Carries a
+    /// `[xfer_id][idx][total]` header ahead of the chunk bytes; the
+    /// receive thread reassembles the original [`MsgClass::Data`] message.
+    Frag = 8,
 }
 
 impl MsgClass {
@@ -64,6 +69,7 @@ impl MsgClass {
             5 => MsgClass::Ack,
             6 => MsgClass::Nack,
             7 => MsgClass::Exception,
+            8 => MsgClass::Frag,
             _ => return None,
         })
     }
@@ -106,6 +112,7 @@ mod tests {
             MsgClass::Ack,
             MsgClass::Nack,
             MsgClass::Exception,
+            MsgClass::Frag,
         ] {
             let tag = encode_tag(class, 7, 11, 0xDEAD_BEEF);
             assert_eq!(decode_tag(tag), (class, 7, 11, 0xDEAD_BEEF));

@@ -80,6 +80,18 @@ pub struct NcsConfig {
     /// Exhausting the budget also marks the destination **dead**: further
     /// sends to it fail fast with the same exception instead of hanging.
     pub max_retries: u32,
+    /// Pipelined data path (the paper's Approach 2): number of I/O buffers
+    /// the send thread may keep in flight per destination. A data message
+    /// larger than [`NcsConfig::io_buffer_bytes`] is chunked into
+    /// buffer-sized CS-PDUs; with checksum/retransmit error control active,
+    /// at most this many chunks ride unacknowledged at once, and the send
+    /// thread refills buffers as acknowledgments free them.
+    pub io_buffers: u32,
+    /// Size of one I/O buffer: the chunk granularity of the pipelined data
+    /// path. Large messages are split at this boundary, which also keeps
+    /// every CS-PDU under the AAL5 65 535-byte ceiling (a >64 KiB send used
+    /// to die in the adaptation layer; now it is designed behavior).
+    pub io_buffer_bytes: usize,
     /// Runtime analysis pass: deadlock / lost-wakeup detection in the
     /// scheduler plus protocol conservation checks (credits, sequence
     /// numbers, retry budgets) in the system threads. Off by default; an
@@ -141,6 +153,8 @@ impl Default for NcsConfig {
             poll_cost: Dur::from_micros(10),
             rto: RtoConfig::default(),
             max_retries: 8,
+            io_buffers: 4,
+            io_buffer_bytes: 16 * 1024,
             analysis: AnalysisConfig::off(),
         }
     }
@@ -200,6 +214,9 @@ struct MpsState {
     consumed: BTreeMap<usize, u32>,
     /// The send thread is parked waiting for credits to this destination.
     send_waiting_credit: Option<usize>,
+    /// The send thread is parked waiting for an acknowledgment to free an
+    /// I/O buffer toward this destination (pipelined chunked transfer).
+    send_waiting_ack: Option<usize>,
     shutdown: bool,
     user_live: usize,
     /// Statistics: data messages sent / received.
@@ -207,8 +224,16 @@ struct MpsState {
     recv_msgs: u64,
     /// High-water mark of buffered-but-unconsumed messages (the stash).
     peak_stash: usize,
-    /// Error control: next sequence number per destination.
+    /// Error control: next sequence number per destination (wraps at u32).
     next_seq: BTreeMap<usize, u32>,
+    /// Error control: total sequence numbers ever allocated per
+    /// destination — `next_seq` alone is ambiguous once it wraps.
+    seqs_allocated: BTreeMap<usize, u64>,
+    /// Chunked-transfer id allocator (pipelined data path).
+    next_xfer_id: u32,
+    /// Partially reassembled chunked transfers, keyed by (source process,
+    /// transfer id).
+    reassembly: BTreeMap<(usize, u32), FragAsm>,
     /// Error control: sent-but-unacknowledged wrapped payloads, keyed by
     /// (destination process, sequence number).
     unacked: BTreeMap<(usize, u32), UnackedMsg>,
@@ -216,9 +241,10 @@ struct MpsState {
     retransmits: u64,
     /// Receive-request id allocator.
     next_req_id: u64,
-    /// Error control: sequence numbers already delivered, per source — a
-    /// retransmitted frame whose ACK was lost must not be delivered twice.
-    seen_seqs: BTreeMap<usize, BTreeSet<u32>>,
+    /// Error control: wrap-aware per-source record of delivered sequence
+    /// numbers — a retransmitted frame whose ACK was lost must not be
+    /// delivered twice, including across u32 wrap-around.
+    seen_seqs: BTreeMap<usize, SeqWindow>,
     /// Error control: per-destination RTT estimator driving the adaptive
     /// retransmission timeout.
     rtt: BTreeMap<usize, RttEstimator>,
@@ -234,6 +260,71 @@ struct MpsState {
     /// Statistics: duplicate frames re-ACKed but not delivered (the
     /// retransmitted-frame-whose-ACK-was-lost case).
     dup_suppressed: u64,
+    /// Statistics: data messages that went out chunked through the
+    /// I/O-buffer pool.
+    fragmented_msgs: u64,
+    /// Statistics: chunks transmitted (first transmissions only).
+    fragments_sent: u64,
+    /// Statistics: chunked transfers reassembled to completion.
+    reassembled_msgs: u64,
+}
+
+/// Serial-number comparison (RFC 1982 style): is `a` strictly ahead of `b`
+/// on the wrapping u32 circle?
+fn seq_after(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000_0000
+}
+
+/// Wrap-aware duplicate detector for one source's delivered sequence
+/// numbers. Tracks the high-water mark `hi` plus the exact set of seqs seen
+/// within [`SeqWindow::DEPTH`] behind it; anything older than the window is
+/// treated as a duplicate (a retransmission can only lag by the in-flight
+/// window, which is orders of magnitude smaller than `DEPTH`).
+#[derive(Default)]
+struct SeqWindow {
+    hi: u32,
+    started: bool,
+    recent: BTreeSet<u32>,
+}
+
+impl SeqWindow {
+    /// How far behind the high-water mark a frame may arrive and still be
+    /// judged on exact membership. Far larger than any credit or I/O-buffer
+    /// window, far smaller than the wrap distance.
+    const DEPTH: u32 = 4096;
+
+    /// Records `seq` as delivered; returns `true` if it was already seen
+    /// (or is too stale to be anything but a replay).
+    fn observe(&mut self, seq: u32) -> bool {
+        if !self.started {
+            self.started = true;
+            self.hi = seq;
+            self.recent.insert(seq);
+            return false;
+        }
+        if seq_after(seq, self.hi) {
+            self.hi = seq;
+            self.recent.insert(seq);
+            let hi = self.hi;
+            self.recent
+                .retain(|&s| hi.wrapping_sub(s) < Self::DEPTH);
+            return false;
+        }
+        if self.hi.wrapping_sub(seq) < Self::DEPTH {
+            // Within the exact window (includes seq == hi).
+            !self.recent.insert(seq)
+        } else {
+            // Older than anything we still track: a stale replay.
+            true
+        }
+    }
+}
+
+/// One chunk-reassembly buffer (receive side of the pipelined data path).
+struct FragAsm {
+    total: u32,
+    parts: Vec<Option<Bytes>>,
+    have: u32,
 }
 
 /// Jacobson/Karn RTT estimation state for one destination.
@@ -283,6 +374,9 @@ struct UnackedMsg {
     from_thread: u32,
     user_tag: u32,
     tier: usize,
+    /// Wire class of the frame ([`MsgClass::Data`] or [`MsgClass::Frag`]):
+    /// a retransmitted chunk must still be routed into reassembly.
+    class: MsgClass,
     wrapped: Bytes,
     /// Timeout-driven retransmissions so far.
     retries: u32,
@@ -440,12 +534,16 @@ impl NcsProc {
                 credits: BTreeMap::new(),
                 consumed: BTreeMap::new(),
                 send_waiting_credit: None,
+                send_waiting_ack: None,
                 shutdown: false,
                 user_live: 0,
                 sent_msgs: 0,
                 recv_msgs: 0,
                 peak_stash: 0,
                 next_seq: BTreeMap::new(),
+                seqs_allocated: BTreeMap::new(),
+                next_xfer_id: 0,
+                reassembly: BTreeMap::new(),
                 unacked: BTreeMap::new(),
                 retransmits: 0,
                 next_req_id: 0,
@@ -456,6 +554,9 @@ impl NcsProc {
                 rtt_samples: 0,
                 delivery_failures: 0,
                 dup_suppressed: 0,
+                fragmented_msgs: 0,
+                fragments_sent: 0,
+                reassembled_msgs: 0,
             }),
             sys: Mutex::new(SysThreads::default()),
             users: Mutex::new(Vec::new()),
@@ -667,6 +768,21 @@ impl NcsProc {
     /// matching receive (the flow-control ablation's figure of merit).
     pub fn peak_buffered(&self) -> usize {
         self.inner.state.lock().peak_stash
+    }
+
+    /// Pipelined-data-path counters: `(messages chunked, chunks sent,
+    /// messages reassembled)` — sender-side fragmentation and receiver-side
+    /// completion statistics for the I/O-buffer pool.
+    pub fn pipeline_stats(&self) -> (u64, u64, u64) {
+        let st = self.inner.state.lock();
+        (st.fragmented_msgs, st.fragments_sent, st.reassembled_msgs)
+    }
+
+    /// Test hook: seeds the error-control sequence counter toward `dst`,
+    /// so wrap-around behavior can be exercised without 2^32 sends.
+    #[doc(hidden)]
+    pub fn debug_seed_next_seq(&self, dst: usize, seq: u32) {
+        self.inner.state.lock().next_seq.insert(dst, seq);
     }
 
     /// Looks up the MTS tid of logical user thread `t`.
@@ -1223,6 +1339,9 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 if st.send_waiting_credit == Some(dst) {
                     st.send_waiting_credit = None;
                 }
+                if st.send_waiting_ack == Some(dst) {
+                    st.send_waiting_ack = None;
+                }
                 Action::GiveUp(failed)
             }
             Some(u) => {
@@ -1243,7 +1362,9 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 let req = SendReq {
                     from_thread: u.from_thread,
                     to: u.to,
-                    class: MsgClass::Data,
+                    // A retransmitted chunk must still carry its original
+                    // class so the receiver routes it into reassembly.
+                    class: u.class,
                     user_tag: u.user_tag,
                     data: u.wrapped.clone(),
                     tier: u.tier,
@@ -1295,9 +1416,306 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
     }
 }
 
+/// Bytes of the chunk header a [`MsgClass::Frag`] payload carries:
+/// `[xfer_id u32 LE][chunk index u32 LE][chunk count u32 LE]`.
+const FRAG_HEADER_BYTES: usize = 12;
+
+/// Allocates a sequence number toward `req.to` (wrapping at u32) and
+/// registers the wrapped form of `req.data` for retransmission. Returns
+/// `(seq, wrapped payload)`. Must only be called with checksum/retransmit
+/// error control active.
+fn register_unacked(inner: &Arc<ProcInner>, st: &mut MpsState, req: &SendReq) -> (u32, Bytes) {
+    let dst = req.to;
+    let seq = {
+        let c = st.next_seq.entry(dst.proc).or_insert(0);
+        let s = *c;
+        // Wrap rather than overflow: sequence numbers are serial numbers,
+        // and the receiver's duplicate window compares them as such.
+        *c = c.wrapping_add(1);
+        s
+    };
+    *st.seqs_allocated.entry(dst.proc).or_insert(0) += 1;
+    // Monotonicity: a freshly allocated sequence number must never
+    // collide with a frame still awaiting acknowledgement (u32
+    // wrap-around with a full window would silently reuse one).
+    if inner.cfg.analysis.active() && st.unacked.contains_key(&(dst.proc, seq)) {
+        inner.cfg.analysis.report(
+            "seq-monotonicity",
+            format!("proc{}", inner.id),
+            format!(
+                "seq {seq} toward proc{} re-allocated while still unacknowledged",
+                dst.proc
+            ),
+        );
+    }
+    let wrapped = wrap_checked(seq, &req.data);
+    st.unacked.insert(
+        (dst.proc, seq),
+        UnackedMsg {
+            to: dst,
+            from_thread: req.from_thread,
+            user_tag: req.user_tag,
+            tier: req.tier,
+            class: req.class,
+            wrapped: wrapped.clone(),
+            retries: 0,
+            sent_at: None,
+            retransmitted: false,
+        },
+    );
+    (seq, wrapped)
+}
+
+/// Puts one request on the wire and runs its post-send bookkeeping: RTT
+/// stamp + retransmission timer for checked frames, the sent counter, and
+/// the blocked sender's wakeup.
+fn transmit_one(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
+    let policy = MtsWait(m);
+    let net = &inner.nets[req.tier];
+    let tag = encode_tag(req.class, req.from_thread, req.to.thread, req.user_tag);
+    let dst = req.to;
+    net.send(
+        m.ctx(),
+        &policy,
+        NodeId(inner.id as u32),
+        NodeId(dst.proc as u32),
+        tag,
+        req.data,
+    );
+    // First transmission of a checked frame: stamp the RTT clock and arm
+    // the loss-recovery timer with the destination's current RTO.
+    // Retransmissions are re-armed by `retx_fire` itself.
+    if let Some(seq) = req.seq {
+        {
+            let mut st = inner.state.lock();
+            if let Some(u) = st.unacked.get_mut(&(dst.proc, seq)) {
+                if u.sent_at.is_none() {
+                    u.sent_at = Some(m.ctx().now());
+                }
+            }
+        }
+        arm_retx_timer(inner, dst.proc, seq);
+    }
+    if req.class == MsgClass::Data {
+        inner.state.lock().sent_msgs += 1;
+    }
+    if let Some(w) = req.waiter {
+        m.unblock(w);
+    }
+}
+
+/// Transmits queued control traffic (credit grants, ACKs, NACKs) and
+/// retransmissions while the send thread is gated on credits or I/O
+/// buffers. Without this, a gated data send head-of-line-blocks the very
+/// frames whose round trip would open the gate — two peers both parked on
+/// credits with grants queued behind them would deadlock. Returns whether
+/// anything was sent.
+fn drain_control(inner: &Arc<ProcInner>, m: &MtsCtx) -> bool {
+    let mut any = false;
+    loop {
+        let req = {
+            let mut st = inner.state.lock();
+            let pos = st.send_q.iter().position(|r| {
+                r.prewrapped
+                    || matches!(
+                        r.class,
+                        MsgClass::Credit | MsgClass::Ack | MsgClass::Nack
+                    )
+            });
+            pos.and_then(|i| st.send_q.remove(i))
+        };
+        let Some(req) = req else { break };
+        // A retransmission toward a peer declared dead mid-queue is dropped
+        // silently: the give-up purge already raised its exception.
+        if req.prewrapped && inner.state.lock().dead_peers.contains(&req.to.proc) {
+            continue;
+        }
+        transmit_one(inner, m, req);
+        any = true;
+    }
+    any
+}
+
+/// Blocks the send thread until a credit toward `dst` is available (and
+/// spends it), draining control traffic while parked. Returns `false` if
+/// the peer was declared dead while waiting — credits will never arrive.
+fn acquire_send_credit(inner: &Arc<ProcInner>, m: &MtsCtx, dst: usize) -> bool {
+    if !matches!(inner.cfg.flow, FlowControl::Credit { .. }) {
+        return true;
+    }
+    enum Gate {
+        Open,
+        Dead,
+        Starved,
+    }
+    loop {
+        let gate = {
+            let mut st = inner.state.lock();
+            if st.dead_peers.contains(&dst) {
+                // The retry path declared the peer dead while we were
+                // parked; credits will never arrive.
+                st.send_waiting_credit = None;
+                Gate::Dead
+            } else {
+                let c = st.credits.entry(dst).or_insert(0);
+                if *c > 0 {
+                    *c -= 1;
+                    Gate::Open
+                } else {
+                    st.send_waiting_credit = Some(dst);
+                    Gate::Starved
+                }
+            }
+        };
+        match gate {
+            Gate::Open => return true,
+            Gate::Dead => return false,
+            Gate::Starved => {
+                if drain_control(inner, m) {
+                    continue; // a grant/retransmission went out; recheck
+                }
+                // Woken when credits arrive (or the peer dies). The
+                // grant comes in through the receive system thread, so
+                // record the wait edge toward it for the deadlock
+                // analysis; it is External (never Blocked) and cannot
+                // close a false cycle. Copy the tid out first: the
+                // grant path takes `sys`, so the guard must not be
+                // held across the park.
+                let recv = inner.sys.lock().recv;
+                match recv {
+                    Some(t) => m.block_on(t),
+                    None => m.block(),
+                }
+            }
+        }
+    }
+}
+
+/// Blocks the send thread until fewer than `window` frames toward `dst`
+/// await acknowledgment — i.e. until an I/O buffer frees up — draining
+/// control traffic while parked. Returns `false` if the peer was declared
+/// dead while waiting.
+fn wait_for_io_buffer(inner: &Arc<ProcInner>, m: &MtsCtx, dst: usize, window: usize) -> bool {
+    enum Gate {
+        Open,
+        Dead,
+        Full,
+    }
+    loop {
+        let gate = {
+            let mut st = inner.state.lock();
+            if st.dead_peers.contains(&dst) {
+                st.send_waiting_ack = None;
+                Gate::Dead
+            } else if st.unacked.keys().filter(|&&(d, _)| d == dst).count() < window {
+                Gate::Open
+            } else {
+                st.send_waiting_ack = Some(dst);
+                Gate::Full
+            }
+        };
+        match gate {
+            Gate::Open => return true,
+            Gate::Dead => return false,
+            Gate::Full => {
+                // The acks that would free a buffer may themselves depend on
+                // retransmissions (or our own acks) queued behind this
+                // transfer — drain them before parking, or the pipeline
+                // wedges with a full window of lost chunks.
+                if drain_control(inner, m) {
+                    continue;
+                }
+                let recv = inner.sys.lock().recv;
+                match recv {
+                    Some(t) => m.block_on(t),
+                    None => m.block(),
+                }
+            }
+        }
+    }
+}
+
+/// The pipelined Approach-2 data path: chunks one large data message into
+/// I/O-buffer-sized CS-PDUs ([`MsgClass::Frag`] frames), keeping up to
+/// [`NcsConfig::io_buffers`] of them in flight toward the destination and
+/// refilling buffers as acknowledgments free them. One credit covers the
+/// whole logical message; the receiver grants it back on reassembly.
+fn send_fragmented(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
+    let chunk_bytes = inner.cfg.io_buffer_bytes.max(1);
+    let total = req.data.len().div_ceil(chunk_bytes) as u32;
+    let window = inner.cfg.io_buffers.max(1) as usize;
+    let checked = inner.cfg.error == ErrorControl::ChecksumRetransmit;
+    let xfer = {
+        let mut st = inner.state.lock();
+        let x = st.next_xfer_id;
+        st.next_xfer_id = st.next_xfer_id.wrapping_add(1);
+        x
+    };
+    let mut peer_died = !acquire_send_credit(inner, m, req.to.proc);
+    let mut any_registered = false;
+    if !peer_died {
+        for idx in 0..total {
+            if checked && !wait_for_io_buffer(inner, m, req.to.proc, window) {
+                peer_died = true;
+                break;
+            }
+            let lo = idx as usize * chunk_bytes;
+            let hi = (lo + chunk_bytes).min(req.data.len());
+            let mut v = Vec::with_capacity(FRAG_HEADER_BYTES + (hi - lo));
+            v.extend_from_slice(&xfer.to_le_bytes());
+            v.extend_from_slice(&idx.to_le_bytes());
+            v.extend_from_slice(&total.to_le_bytes());
+            v.extend_from_slice(&req.data[lo..hi]);
+            let mut chunk = SendReq {
+                from_thread: req.from_thread,
+                to: req.to,
+                class: MsgClass::Frag,
+                user_tag: req.user_tag,
+                data: Bytes::from(v),
+                tier: req.tier,
+                waiter: None,
+                prewrapped: false,
+                seq: None,
+            };
+            if checked {
+                let mut st = inner.state.lock();
+                let (seq, wrapped) = register_unacked(inner, &mut st, &chunk);
+                chunk.seq = Some(seq);
+                chunk.data = wrapped;
+                any_registered = true;
+            }
+            transmit_one(inner, m, chunk);
+        }
+    }
+    {
+        let mut st = inner.state.lock();
+        if peer_died {
+            st.delivery_failures += 1;
+        } else {
+            st.sent_msgs += 1;
+            st.fragmented_msgs += 1;
+            st.fragments_sent += u64::from(total);
+        }
+    }
+    if peer_died && !any_registered {
+        // No chunk reached the unacked table, so the give-up purge had
+        // nothing of this message to report — raise the failure here.
+        raise_local_exception(
+            inner,
+            NcsException {
+                from: req.to,
+                code: EXC_DELIVERY_FAILED,
+                detail: Bytes::from(req.user_tag.to_le_bytes().to_vec()),
+            },
+        );
+    }
+    if let Some(w) = req.waiter {
+        m.unblock(w);
+    }
+}
+
 /// Body of the send system thread.
 fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
-    let policy = MtsWait(m);
     loop {
         let req = {
             let mut st = inner.state.lock();
@@ -1319,7 +1737,9 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
         // rather than burning a fresh retry budget each. A prewrapped frame
         // is a retransmission whose give-up purge already raised the
         // exception, so it is dropped silently.
-        if req.class == MsgClass::Data && inner.state.lock().dead_peers.contains(&req.to.proc) {
+        if matches!(req.class, MsgClass::Data | MsgClass::Frag)
+            && inner.state.lock().dead_peers.contains(&req.to.proc)
+        {
             if !req.prewrapped {
                 raise_local_exception(
                     inner,
@@ -1336,6 +1756,15 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             }
             continue;
         }
+        // Approach 2: a data message wider than one I/O buffer goes out
+        // chunked, with multiple buffer-sized CS-PDUs in flight.
+        if req.class == MsgClass::Data
+            && !req.prewrapped
+            && req.data.len() > inner.cfg.io_buffer_bytes
+        {
+            send_fragmented(inner, m, req);
+            continue;
+        }
         // Error control: frame data messages with a sequence number and
         // checksum, keeping a copy for retransmission until acknowledged.
         if inner.cfg.error == ErrorControl::ChecksumRetransmit
@@ -1343,123 +1772,39 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             && !req.prewrapped
         {
             let mut st = inner.state.lock();
-            let seq = {
-                let c = st.next_seq.entry(req.to.proc).or_insert(0);
-                let s = *c;
-                *c += 1;
-                s
-            };
-            // Monotonicity: a freshly allocated sequence number must never
-            // collide with a frame still awaiting acknowledgement (u32
-            // wrap-around with a full window would silently reuse one).
-            if inner.cfg.analysis.active() && st.unacked.contains_key(&(req.to.proc, seq)) {
-                inner.cfg.analysis.report(
-                    "seq-monotonicity",
-                    format!("proc{}", inner.id),
-                    format!(
-                        "seq {seq} toward proc{} re-allocated while still unacknowledged",
-                        req.to.proc
-                    ),
-                );
-            }
-            let wrapped = wrap_checked(seq, &req.data);
-            st.unacked.insert(
-                (req.to.proc, seq),
-                UnackedMsg {
-                    to: req.to,
-                    from_thread: req.from_thread,
-                    user_tag: req.user_tag,
-                    tier: req.tier,
-                    wrapped: wrapped.clone(),
-                    retries: 0,
-                    sent_at: None,
-                    retransmitted: false,
-                },
-            );
+            let (seq, wrapped) = register_unacked(inner, &mut st, &req);
             drop(st);
             req.seq = Some(seq);
             req.data = wrapped;
         }
-        // Credit flow control gates only application data.
-        let mut peer_died_waiting = false;
-        if req.class == MsgClass::Data {
-            if let FlowControl::Credit { .. } = inner.cfg.flow {
-                loop {
-                    let ok = {
-                        let mut st = inner.state.lock();
-                        if st.dead_peers.contains(&req.to.proc) {
-                            // The retry path declared the peer dead while we
-                            // were parked; credits will never arrive.
-                            st.send_waiting_credit = None;
-                            peer_died_waiting = true;
-                            true
-                        } else {
-                            let c = st.credits.entry(req.to.proc).or_insert(0);
-                            if *c > 0 {
-                                *c -= 1;
-                                true
-                            } else {
-                                st.send_waiting_credit = Some(req.to.proc);
-                                false
-                            }
-                        }
-                    };
-                    if ok {
-                        break;
-                    }
-                    // Woken when credits arrive (or the peer dies). The
-                    // grant comes in through the receive system thread, so
-                    // record the wait edge toward it for the deadlock
-                    // analysis; it is External (never Blocked) and cannot
-                    // close a false cycle. Copy the tid out first: the
-                    // grant path takes `sys`, so the guard must not be
-                    // held across the park.
-                    let recv = inner.sys.lock().recv;
-                    match recv {
-                        Some(t) => m.block_on(t),
-                        None => m.block(),
-                    }
-                }
+        // Credit flow control gates fresh application data; retransmissions
+        // ride free (the receiver grants credits only for frames it accepts
+        // for delivery, so spending per retransmission would leak).
+        if req.class == MsgClass::Data
+            && !req.prewrapped
+            && !acquire_send_credit(inner, m, req.to.proc)
+        {
+            // Peer died while we were parked on credits. Any unacked entry
+            // was purged and reported by the give-up path; a frame without
+            // one (no error control) must raise its failure here, or the
+            // send would vanish silently.
+            if req.seq.is_none() {
+                raise_local_exception(
+                    inner,
+                    NcsException {
+                        from: req.to,
+                        code: EXC_DELIVERY_FAILED,
+                        detail: Bytes::from(req.user_tag.to_le_bytes().to_vec()),
+                    },
+                );
+                inner.state.lock().delivery_failures += 1;
             }
-        }
-        if peer_died_waiting {
-            // Its unacked entry (if any) was already purged and reported by
-            // the give-up path; only unblock the waiting sender.
             if let Some(w) = req.waiter {
                 m.unblock(w);
             }
             continue;
         }
-        let net = &inner.nets[req.tier];
-        let tag = encode_tag(req.class, req.from_thread, req.to.thread, req.user_tag);
-        net.send(
-            m.ctx(),
-            &policy,
-            NodeId(inner.id as u32),
-            NodeId(req.to.proc as u32),
-            tag,
-            req.data,
-        );
-        // First transmission of a checked frame: stamp the RTT clock and arm
-        // the loss-recovery timer with the destination's current RTO.
-        // Retransmissions are re-armed by `retx_fire` itself.
-        if let Some(seq) = req.seq {
-            {
-                let mut st = inner.state.lock();
-                if let Some(u) = st.unacked.get_mut(&(req.to.proc, seq)) {
-                    if u.sent_at.is_none() {
-                        u.sent_at = Some(m.ctx().now());
-                    }
-                }
-            }
-            arm_retx_timer(inner, req.to.proc, seq);
-        }
-        if req.class == MsgClass::Data {
-            inner.state.lock().sent_msgs += 1;
-        }
-        if let Some(w) = req.waiter {
-            m.unblock(w);
-        }
+        transmit_one(inner, m, req);
     }
 }
 
@@ -1521,6 +1866,140 @@ fn recv_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                 ),
             );
         }
+        // Likewise no chunked transfer may end half-reassembled: every
+        // chunk was individually acknowledged, so the bytes are stranded.
+        for (&(src, xfer), asm) in st.reassembly.iter() {
+            inner.cfg.analysis.report(
+                "incomplete-transfer",
+                format!("proc{}", inner.id),
+                format!(
+                    "chunked transfer {xfer} from proc{src} ended with {}/{} chunks",
+                    asm.have, asm.total
+                ),
+            );
+        }
+    }
+}
+
+/// Returns one flow-control credit to `src` for a frame accepted for
+/// delivery, batching grants at half the window. Only accepted frames
+/// grant: the sender spends a credit per fresh logical message
+/// (retransmissions ride free), so granting per raw arrival would push
+/// its balance above the window.
+fn grant_credit(inner: &Arc<ProcInner>, tier: usize, src: usize) {
+    let FlowControl::Credit { window } = inner.cfg.flow else {
+        return;
+    };
+    let grant = {
+        let mut st = inner.state.lock();
+        let consumed = st.consumed.entry(src).or_insert(0);
+        *consumed += 1;
+        let grant_at = (window / 2).max(1);
+        if *consumed >= grant_at {
+            let g = *consumed;
+            *consumed = 0;
+            st.send_q.push_back(SendReq {
+                from_thread: 0,
+                to: ThreadAddr::new(src, 0),
+                class: MsgClass::Credit,
+                user_tag: g,
+                data: Bytes::new(),
+                tier,
+                waiter: None,
+                prewrapped: false,
+                seq: None,
+            });
+            true
+        } else {
+            false
+        }
+    };
+    if grant {
+        if let Some(tid) = inner.sys.lock().send {
+            inner.mts.unblock(&inner.sim, tid);
+        }
+    }
+}
+
+/// Routes one accepted [`MsgClass::Frag`] chunk into its reassembly slot.
+/// Completing the set stashes the rebuilt [`MsgClass::Data`] message and
+/// grants back the one credit its sender spent on the whole transfer.
+fn ingest_fragment(
+    inner: &Arc<ProcInner>,
+    tier: usize,
+    from: ThreadAddr,
+    to_thread: u32,
+    user_tag: u32,
+    payload: Bytes,
+) {
+    let malformed = |why: String| {
+        if inner.cfg.analysis.active() {
+            inner.cfg.analysis.report(
+                "malformed-fragment",
+                format!("proc{}", inner.id),
+                format!("fragment from proc{}: {why}", from.proc),
+            );
+        }
+    };
+    if payload.len() < FRAG_HEADER_BYTES {
+        malformed(format!("{} bytes is shorter than the chunk header", payload.len()));
+        return;
+    }
+    let xfer = u32::from_le_bytes(payload[0..4].try_into().expect("4 bytes"));
+    let idx = u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes"));
+    let total = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+    if total == 0 || idx >= total {
+        malformed(format!("chunk {idx} outside its declared count {total}"));
+        return;
+    }
+    let key = (from.proc, xfer);
+    let mut mismatch = None;
+    let complete = {
+        let mut st = inner.state.lock();
+        let slot = st.reassembly.entry(key).or_insert_with(|| FragAsm {
+            total,
+            parts: vec![None; total as usize],
+            have: 0,
+        });
+        let done = if slot.total != total {
+            mismatch = Some(slot.total);
+            false
+        } else if slot.parts[idx as usize].is_some() {
+            // A duplicate chunk that slipped past the sequence window
+            // (e.g. with error control off): already placed, ignore.
+            false
+        } else {
+            slot.parts[idx as usize] = Some(payload.slice(FRAG_HEADER_BYTES..));
+            slot.have += 1;
+            slot.have == slot.total
+        };
+        if done {
+            let asm = st.reassembly.remove(&key).expect("entry just completed");
+            let mut v = Vec::with_capacity(
+                asm.parts.iter().map(|p| p.as_ref().map_or(0, Bytes::len)).sum(),
+            );
+            for p in asm.parts {
+                v.extend_from_slice(&p.expect("all chunks present"));
+            }
+            st.stash.push_back(NcsMsg {
+                from,
+                to_thread,
+                tag: user_tag,
+                data: Bytes::from(v),
+                class: MsgClass::Data,
+            });
+            st.peak_stash = st.peak_stash.max(st.stash.len());
+            st.reassembled_msgs += 1;
+        }
+        done
+    };
+    if let Some(expected) = mismatch {
+        malformed(format!(
+            "transfer {xfer} declares {total} chunks, earlier chunks declared {expected}"
+        ));
+    }
+    if complete {
+        grant_credit(inner, tier, from.proc);
     }
 }
 
@@ -1533,56 +2012,21 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
     let (class, from_thread, to_thread, user_tag) = decode_tag(d.tag);
     let from = ThreadAddr::new(d.src.idx(), from_thread);
     let mut payload = d.payload;
-    // Credit flow control accounts every data arrival — including frames
-    // the error control below rejects (the transport buffer was used and
-    // freed either way; otherwise corrupted frames would leak credits and
-    // starve the sender).
-    if class == MsgClass::Data {
-        if let FlowControl::Credit { window } = inner.cfg.flow {
-            let grant = {
-                let mut st = inner.state.lock();
-                let consumed = st.consumed.entry(from.proc).or_insert(0);
-                *consumed += 1;
-                let grant_at = (window / 2).max(1);
-                if *consumed >= grant_at {
-                    let g = *consumed;
-                    *consumed = 0;
-                    st.send_q.push_back(SendReq {
-                        from_thread: 0,
-                        to: ThreadAddr::new(from.proc, 0),
-                        class: MsgClass::Credit,
-                        user_tag: g,
-                        data: Bytes::new(),
-                        tier,
-                        waiter: None,
-                        prewrapped: false,
-                        seq: None,
-                    });
-                    true
-                } else {
-                    false
-                }
-            };
-            if grant {
-                if let Some(tid) = inner.sys.lock().send {
-                    inner.mts.unblock(&inner.sim, tid);
-                }
-            }
-        }
-    }
     // Error control: verify framed data; acknowledge or request retransmit.
-    if inner.cfg.error == ErrorControl::ChecksumRetransmit && class == MsgClass::Data {
+    if inner.cfg.error == ErrorControl::ChecksumRetransmit
+        && matches!(class, MsgClass::Data | MsgClass::Frag)
+    {
         let (seq, parsed) = unwrap_checked(&payload);
         let (reply_class, duplicate) = match parsed {
             Ok(clean) => {
                 payload = clean;
-                let dup = !inner
+                let dup = inner
                     .state
                     .lock()
                     .seen_seqs
                     .entry(from.proc)
                     .or_default()
-                    .insert(seq);
+                    .observe(seq);
                 (MsgClass::Ack, dup)
             }
             Err(()) => (MsgClass::Nack, false),
@@ -1615,19 +2059,25 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
     match class {
         MsgClass::Ack => {
             let seq = user_tag;
-            let (empty_after, shutdown) = {
+            let (wake_send, empty_after, shutdown) = {
                 let mut st = inner.state.lock();
                 // Monotonicity: an ACK can only name a sequence number this
-                // process has already allocated toward that peer.
+                // process has already allocated toward that peer. Wrap-aware:
+                // the valid numbers are the `total` values on the u32 circle
+                // ending just before `next_seq`.
                 if inner.cfg.analysis.active() {
-                    let allocated = st.next_seq.get(&from.proc).copied().unwrap_or(0);
-                    if seq >= allocated {
+                    let total = st.seqs_allocated.get(&from.proc).copied().unwrap_or(0);
+                    let next = st.next_seq.get(&from.proc).copied().unwrap_or(0);
+                    let back = next.wrapping_sub(1).wrapping_sub(seq);
+                    let valid =
+                        total > 0 && (total >= (1u64 << 32) || u64::from(back) < total);
+                    if !valid {
                         inner.cfg.analysis.report(
                             "ack-unallocated-seq",
                             format!("proc{}", inner.id),
                             format!(
-                                "ACK from proc{} names seq {seq}, but only {allocated} \
-                                 sequence numbers were ever allocated toward it",
+                                "ACK from proc{} names seq {seq}, outside the {total} \
+                                 sequence numbers ever allocated toward it",
                                 from.proc
                             ),
                         );
@@ -1648,15 +2098,21 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                         st.rtt.entry(from.proc).or_default().backoff_exp = 0;
                     }
                 }
-                (st.unacked.is_empty(), st.shutdown)
+                // A freed I/O buffer reopens the pipelined send window.
+                let mut wake = false;
+                if st.send_waiting_ack == Some(from.proc) {
+                    st.send_waiting_ack = None;
+                    wake = true;
+                }
+                (wake, st.unacked.is_empty(), st.shutdown)
             };
-            if empty_after {
+            if wake_send || empty_after {
                 if let Some(tid) = inner.sys.lock().send {
                     inner.mts.unblock(&inner.sim, tid);
                 }
-                if shutdown {
-                    inner.merged.close(&inner.sim);
-                }
+            }
+            if empty_after && shutdown {
+                inner.merged.close(&inner.sim);
             }
         }
         MsgClass::Nack => {
@@ -1668,7 +2124,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                     SendReq {
                         from_thread: u.from_thread,
                         to: u.to,
-                        class: MsgClass::Data,
+                        class: u.class,
                         user_tag: u.user_tag,
                         data: u.wrapped.clone(),
                         tier: u.tier,
@@ -1730,16 +2186,24 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                 }
             }
         }
+        MsgClass::Frag => {
+            ingest_fragment(inner, tier, from, to_thread, user_tag, payload);
+        }
         _ => {
-            let mut st = inner.state.lock();
-            st.stash.push_back(NcsMsg {
-                from,
-                to_thread,
-                tag: user_tag,
-                data: payload,
-                class,
-            });
-            st.peak_stash = st.peak_stash.max(st.stash.len());
+            {
+                let mut st = inner.state.lock();
+                st.stash.push_back(NcsMsg {
+                    from,
+                    to_thread,
+                    tag: user_tag,
+                    data: payload,
+                    class,
+                });
+                st.peak_stash = st.peak_stash.max(st.stash.len());
+            }
+            if class == MsgClass::Data {
+                grant_credit(inner, tier, from.proc);
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::cell::{AtmCell, CellHeader, CELL_PAYLOAD};
 use crate::crc::crc10;
+use bytes::Bytes;
 
 /// Data bytes per AAL3/4 cell.
 pub const SAR_PAYLOAD: usize = 44;
@@ -58,10 +59,14 @@ pub fn cells_for_pdu(bytes: usize) -> usize {
 }
 
 /// Segments `payload` into AAL3/4 cells for multiplexing id `mid`.
+///
+/// The full SAR-PDU (every cell's header + payload + trailer) is built as
+/// one contiguous buffer, and each cell holds a zero-copy [`Bytes`] slice
+/// of its 48-byte window.
 pub fn segment(payload: &[u8], vpi: u8, vci: u16, mid: u16) -> Vec<AtmCell> {
     assert!(mid < 1024, "MID is 10 bits");
     let n = cells_for_pdu(payload.len());
-    let mut cells = Vec::with_capacity(n);
+    let mut sar = vec![0u8; n * CELL_PAYLOAD];
     for i in 0..n {
         let lo = i * SAR_PAYLOAD;
         let hi = (lo + SAR_PAYLOAD).min(payload.len());
@@ -73,7 +78,7 @@ pub fn segment(payload: &[u8], vpi: u8, vci: u16, mid: u16) -> Vec<AtmCell> {
             (false, true) => SegmentType::Eom,
         };
         let sn = (i % 16) as u8;
-        let mut body = [0u8; CELL_PAYLOAD];
+        let body = &mut sar[i * CELL_PAYLOAD..(i + 1) * CELL_PAYLOAD];
         // SAR header: ST(2) SN(4) MID(10)
         body[0] = (st.code() << 6) | (sn << 2) | ((mid >> 8) as u8 & 0b11);
         body[1] = mid as u8;
@@ -83,9 +88,16 @@ pub fn segment(payload: &[u8], vpi: u8, vci: u16, mid: u16) -> Vec<AtmCell> {
         let crc = crc10(&body[..46]);
         body[46] = (li << 2) | ((crc >> 8) as u8 & 0b11);
         body[47] = crc as u8;
-        cells.push(AtmCell::new(CellHeader::data(vpi, vci), body));
     }
-    cells
+    let sar = Bytes::from(sar);
+    (0..n)
+        .map(|i| {
+            AtmCell::new(
+                CellHeader::data(vpi, vci),
+                sar.slice(i * CELL_PAYLOAD..(i + 1) * CELL_PAYLOAD),
+            )
+        })
+        .collect()
 }
 
 /// Reassembly failure.
@@ -196,7 +208,11 @@ mod tests {
     #[test]
     fn corruption_detected_per_cell() {
         let mut cells = segment(&payload(300), 0, 1, 1);
-        cells[2].payload[10] ^= 0x80;
+        // Payload slices are shared views of the SAR-PDU; damage through a
+        // copy.
+        let mut damaged = cells[2].payload.to_vec();
+        damaged[10] ^= 0x80;
+        cells[2].payload = Bytes::from(damaged);
         assert_eq!(reassemble(&cells), Err(Aal34Error::BadCrc));
     }
 

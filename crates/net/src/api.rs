@@ -53,6 +53,9 @@ pub enum AtmApiError {
     NoVcisLeft,
     /// Operation on a circuit that is not open.
     NotOpen,
+    /// PDU exceeds what one AAL5 CS-PDU can carry; callers must chunk
+    /// (NCS's I/O-buffer pool does this above the API).
+    PduTooLarge,
 }
 
 impl std::fmt::Display for AtmApiError {
@@ -60,6 +63,11 @@ impl std::fmt::Display for AtmApiError {
         match self {
             AtmApiError::NoVcisLeft => write!(f, "no VCIs left"),
             AtmApiError::NotOpen => write!(f, "circuit not open"),
+            AtmApiError::PduTooLarge => write!(
+                f,
+                "PDU exceeds the AAL5 maximum of {} bytes",
+                crate::aal5::MAX_PDU
+            ),
         }
     }
 }
@@ -163,6 +171,9 @@ impl AtmApi {
     /// Sends one PDU on a circuit (`atm_send`). Blocks the calling green
     /// thread for the sender-side costs of the underlying stack.
     pub fn send(&self, ctx: &Ctx, vc: Vc, pdu: Bytes) -> Result<(), AtmApiError> {
+        if pdu.len() > crate::aal5::MAX_PDU {
+            return Err(AtmApiError::PduTooLarge);
+        }
         if self.table.lock().class_of(vc).is_none() {
             return Err(AtmApiError::NotOpen);
         }
@@ -293,6 +304,18 @@ mod tests {
             for i in 0..5u8 {
                 assert_eq!(b.recv(ctx, vc2).unwrap()[0], 100 + i);
             }
+        });
+        sim.run().assert_clean();
+    }
+
+    #[test]
+    fn oversize_pdu_rejected_at_api() {
+        let sim = Sim::new();
+        let (a, _b) = api_pair();
+        sim.spawn("a", move |ctx| {
+            let vc = a.open(NodeId(1), TrafficClass::Ubr).unwrap();
+            let too_big = Bytes::from(vec![0u8; crate::aal5::MAX_PDU + 1]);
+            assert_eq!(a.send(ctx, vc, too_big), Err(AtmApiError::PduTooLarge));
         });
         sim.run().assert_clean();
     }

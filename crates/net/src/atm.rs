@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use crate::aal5;
 use crate::cell::CELL_BYTES;
-use crate::fabric::{Fabric, NodeId, TransferTiming};
+use crate::fabric::{Fabric, NodeId, TrainTiming, TransferTiming};
 use crate::link::{LinkSpec, LinkState};
 
 /// Wire bytes for an AAL5-framed chunk of `payload` bytes.
@@ -158,6 +158,49 @@ impl Fabric for AtmLanFabric {
             first_hop_done: up.end,
             arrival: down.arrival,
             dropped: up.lost || down.lost,
+        }
+    }
+
+    /// Books the train with exactly one FIFO booking per hop
+    /// ([`LinkState::enqueue_train`]) and reports the receiver-observed
+    /// inter-cell spacing: the downlink's per-cell serialization time.
+    fn transfer_train(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        cells: usize,
+        cell_wire_bytes: usize,
+        depart: SimTime,
+    ) -> TrainTiming {
+        assert!(src.idx() < self.params.nodes && dst.idx() < self.params.nodes);
+        assert_ne!(src, dst, "loopback does not touch the fabric");
+        let _ = payload_bytes; // the train geometry carries the wire size
+        let up = self.uplinks[src.idx()].enqueue_train(depart, cells, cell_wire_bytes, Dur::ZERO);
+        let at_switch = up.slot.arrival + self.params.switch_latency;
+        let port = &self.downlinks[dst.idx()];
+        let wire = cells * cell_wire_bytes;
+        if output_buffer_full(port, at_switch, wire, self.params.output_buffer_cells) {
+            self.overflow_drops.fetch_add(1, Ordering::Relaxed);
+            return TrainTiming {
+                whole: TransferTiming {
+                    first_hop_done: up.slot.end,
+                    arrival: at_switch,
+                    dropped: true,
+                },
+                cells,
+                cell_gap: Dur::ZERO,
+            };
+        }
+        let down = port.enqueue_train(at_switch, cells, cell_wire_bytes, Dur::ZERO);
+        TrainTiming {
+            whole: TransferTiming {
+                first_hop_done: up.slot.end,
+                arrival: down.slot.arrival,
+                dropped: up.slot.lost || down.slot.lost,
+            },
+            cells,
+            cell_gap: down.cell_time,
         }
     }
 
@@ -367,7 +410,7 @@ impl Fabric for NynetFabric {
             lost |= slot.lost;
             at = slot.arrival + lat;
             if Arc::ptr_eq(link, &self.backbone) {
-                at = at + self.params.wan_propagation;
+                at += self.params.wan_propagation;
             }
         }
         // The final hop ends at the host, not another switch: undo the
@@ -429,6 +472,30 @@ mod tests {
             + Dur::from_micros(5); // downlink propagation
         assert_eq!(tt.arrival, expect);
         assert_eq!(tt.first_hop_done, SimTime::ZERO + hop);
+    }
+
+    #[test]
+    fn lan_train_books_one_slot_per_hop() {
+        let f = AtmLanFabric::new(AtmLanParams::fore_lan(4));
+        let train = f.transfer_train(NodeId(0), NodeId(1), 480, 11, CELL_BYTES, t(0));
+        assert_eq!(train.cells, 11);
+        // One FIFO booking on the uplink and one on the downlink.
+        assert_eq!(f.uplink(NodeId(0)).chunks_carried(), 1);
+        assert_eq!(f.downlink(NodeId(1)).chunks_carried(), 1);
+        // Receiver-side spacing = downlink cell serialization time.
+        let cell = LinkSpec::taxi_140().tx_time(CELL_BYTES);
+        assert_eq!(train.cell_gap, cell);
+        assert_eq!(train.cell_arrival(10), train.whole.arrival);
+        assert_eq!(train.cell_arrival(0), train.whole.arrival - cell * 10);
+        // Whole-train timing agrees with the chunk model to within per-cell
+        // rounding (tx_time rounds each call up to the next picosecond).
+        let chunk = f.transfer(NodeId(2), NodeId(3), 480, t(0));
+        let skew = train
+            .whole
+            .arrival
+            .saturating_since(chunk.arrival)
+            .max(chunk.arrival.saturating_since(train.whole.arrival));
+        assert!(skew < Dur::from_nanos(1), "skew {skew}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! marks the final cell of a CS-PDU.
 
 use crate::crc;
+use bytes::Bytes;
 
 /// Bytes in a full ATM cell.
 pub const CELL_BYTES: usize = 53;
@@ -139,17 +140,26 @@ impl std::fmt::Display for HeaderError {
 impl std::error::Error for HeaderError {}
 
 /// A complete ATM cell.
+///
+/// The payload is a [`Bytes`] slice — normally a zero-copy view into the
+/// CS-PDU the SAR layer built once (see [`crate::aal5::segment`]), so
+/// cloning a cell or a whole cell train never copies payload bytes.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AtmCell {
     /// Decoded header.
     pub header: CellHeader,
-    /// 48-byte payload.
-    pub payload: [u8; CELL_PAYLOAD],
+    /// 48-byte payload slice (invariant: `len() == CELL_PAYLOAD`).
+    pub payload: Bytes,
 }
 
 impl AtmCell {
     /// Builds a cell from header fields and exactly 48 payload bytes.
-    pub fn new(header: CellHeader, payload: [u8; CELL_PAYLOAD]) -> AtmCell {
+    pub fn new(header: CellHeader, payload: Bytes) -> AtmCell {
+        assert_eq!(
+            payload.len(),
+            CELL_PAYLOAD,
+            "ATM cell payload must be exactly {CELL_PAYLOAD} bytes"
+        );
         AtmCell { header, payload }
     }
 
@@ -166,9 +176,10 @@ impl AtmCell {
         let mut hdr = [0u8; CELL_HEADER];
         hdr.copy_from_slice(&bytes[..CELL_HEADER]);
         let header = CellHeader::unpack(&hdr)?;
-        let mut payload = [0u8; CELL_PAYLOAD];
-        payload.copy_from_slice(&bytes[CELL_HEADER..]);
-        Ok(AtmCell { header, payload })
+        Ok(AtmCell {
+            header,
+            payload: Bytes::copy_from_slice(&bytes[CELL_HEADER..]),
+        })
     }
 }
 
@@ -246,14 +257,20 @@ mod tests {
 
     #[test]
     fn cell_roundtrip() {
-        let mut payload = [0u8; CELL_PAYLOAD];
-        for (i, b) in payload.iter_mut().enumerate() {
-            *b = i as u8;
-        }
-        let cell = AtmCell::new(CellHeader::data(9, 300).with_end_of_pdu(true), payload);
+        let payload: Vec<u8> = (0..CELL_PAYLOAD as u8).collect();
+        let cell = AtmCell::new(
+            CellHeader::data(9, 300).with_end_of_pdu(true),
+            Bytes::from(payload),
+        );
         let bytes = cell.to_bytes();
         assert_eq!(bytes.len(), CELL_BYTES);
         let back = AtmCell::from_bytes(&bytes).unwrap();
         assert_eq!(back, cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 48 bytes")]
+    fn wrong_payload_length_rejected() {
+        let _ = AtmCell::new(CellHeader::data(0, 33), Bytes::from_static(b"short"));
     }
 }

@@ -42,6 +42,30 @@ pub struct TransferTiming {
     pub dropped: bool,
 }
 
+/// Per-cell arrival geometry of a booked cell train: the whole-train
+/// [`TransferTiming`] plus an arithmetically derived inter-cell spacing, so
+/// transports that want per-cell instants (e.g. a per-cell-interrupt
+/// receiver model) never force the fabric into per-cell bookings or the
+/// kernel into per-cell bookkeeping it didn't ask for.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainTiming {
+    /// The train as a whole; `whole.arrival` is the final cell's arrival.
+    pub whole: TransferTiming,
+    /// Cells in the train (≥ 1).
+    pub cells: usize,
+    /// Spacing between consecutive cell arrivals at the destination.
+    pub cell_gap: Dur,
+}
+
+impl TrainTiming {
+    /// Arrival instant of cell `i` (0-based): the last cell lands at
+    /// `whole.arrival`, earlier cells one `cell_gap` apart before it.
+    pub fn cell_arrival(&self, i: usize) -> SimTime {
+        assert!(i < self.cells, "cell index out of train");
+        self.whole.arrival - self.cell_gap * (self.cells - 1 - i) as u64
+    }
+}
+
 /// A wire-level topology with FIFO-queued links.
 pub trait Fabric: Send + Sync + 'static {
     /// Number of attached hosts.
@@ -57,6 +81,42 @@ pub trait Fabric: Send + Sync + 'static {
         payload_bytes: usize,
         depart: SimTime,
     ) -> TransferTiming;
+
+    /// Books `payload_bytes` as a train of `cells` cells of
+    /// `cell_wire_bytes` wire bytes each, and reports per-cell arrival
+    /// geometry. The default books via [`Fabric::transfer`] and derives
+    /// the spacing from the access-link rate (exact for single-switch
+    /// LANs, where the last hop runs at the access rate; an upper bound on
+    /// bunching for multi-hop WANs). The spacing is clamped so the first
+    /// cell never appears to arrive before `depart`.
+    fn transfer_train(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        cells: usize,
+        cell_wire_bytes: usize,
+        depart: SimTime,
+    ) -> TrainTiming {
+        assert!(cells > 0, "a cell train needs at least one cell");
+        let whole = self.transfer(src, dst, payload_bytes, depart);
+        let rate = self.access_rate(src);
+        let mut cell_gap = if cells == 1 || rate == u64::MAX {
+            Dur::ZERO
+        } else {
+            Dur::for_bytes(cell_wire_bytes, rate)
+        };
+        let span = cell_gap * (cells - 1) as u64;
+        let avail = whole.arrival.saturating_since(depart);
+        if span > avail {
+            cell_gap = avail / (cells - 1) as u64;
+        }
+        TrainTiming {
+            whole,
+            cells,
+            cell_gap,
+        }
+    }
 
     /// Payload-effective rate (b/s) of `src`'s first hop, used by transport
     /// layers for send-buffer pacing.
@@ -127,5 +187,19 @@ mod tests {
     fn ideal_fabric_bounds_checked() {
         let f = IdealFabric::new(2, Dur::ZERO);
         f.transfer(NodeId(0), NodeId(5), 10, SimTime::ZERO);
+    }
+
+    #[test]
+    fn default_train_timing_is_arithmetic() {
+        // An ideal fabric is infinitely fast: all cells of a train land
+        // together at the whole-train arrival.
+        let f = IdealFabric::new(2, Dur::from_micros(3));
+        let t0 = SimTime::ZERO + Dur::from_millis(2);
+        let train = f.transfer_train(NodeId(0), NodeId(1), 480, 11, 53, t0);
+        assert_eq!(train.cells, 11);
+        assert_eq!(train.cell_gap, Dur::ZERO);
+        assert_eq!(train.cell_arrival(0), train.whole.arrival);
+        assert_eq!(train.cell_arrival(10), train.whole.arrival);
+        assert_eq!(train.whole.arrival, t0 + Dur::from_micros(3));
     }
 }

@@ -223,7 +223,7 @@ impl ChaosNet {
 
         // Something was hit: run the real ATM receive pipeline over the
         // materialized cell stream to decide the PDU's fate.
-        let cells = aal5::segment(chunk, 0, 32);
+        let cells = aal5::segment(chunk, 0, 32).expect("chunk bounded by pdu_bytes <= MAX_PDU");
         debug_assert_eq!(cells.len(), n_cells);
         let flip_map: BTreeMap<usize, &[usize]> = flips
             .iter()
@@ -247,9 +247,10 @@ impl ChaosNet {
                     if corrected {
                         self.stats.headers_corrected.fetch_add(1, Ordering::Relaxed);
                     }
-                    let mut payload = [0u8; CELL_BYTES - CELL_HEADER];
-                    payload.copy_from_slice(&wire[CELL_HEADER..]);
-                    received.push(AtmCell::new(header, payload));
+                    received.push(AtmCell::new(
+                        header,
+                        Bytes::copy_from_slice(&wire[CELL_HEADER..]),
+                    ));
                 }
                 Err(_) => {
                     self.stats.cells_discarded.fetch_add(1, Ordering::Relaxed);

@@ -43,6 +43,7 @@ pub use fabric::{Fabric, IdealFabric, NodeId, TransferTiming};
 pub use host::{DatapathKind, HostParams};
 pub use link::{LinkSpec, LinkState};
 pub use stack::{
-    AtmApiNet, AtmApiParams, BlockingWait, Delivery, Network, TcpNet, TcpParams, WaitPolicy,
+    AtmApiNet, AtmApiParams, BlockingWait, CellEventMode, Delivery, Network, TcpNet, TcpParams,
+    WaitPolicy,
 };
 pub use topology::Testbed;

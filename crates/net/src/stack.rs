@@ -373,6 +373,22 @@ impl<F: Fabric> Network for TcpNet<F> {
     }
 }
 
+/// How the receive side turns arriving cells into kernel events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellEventMode {
+    /// One kernel event per arriving cell — the naive Approach-1 receiver
+    /// in which every cell raises its own interrupt/event. Timestamps come
+    /// from the same arithmetic [`crate::fabric::TrainTiming`] geometry, so
+    /// the two modes agree on *when* data lands; this one just makes the
+    /// kernel pay per cell. Kept as the measurable baseline for
+    /// `xp_pipeline`.
+    PerCell,
+    /// One kernel event per cell *train* (one buffer's worth of cells):
+    /// the Approach-2 pipeline. Per-cell instants still exist arithmetically
+    /// but the event queue sees a single entry per train.
+    Train,
+}
+
 /// Parameters of the High Speed Mode (ATM API) stack.
 #[derive(Clone, Debug)]
 pub struct AtmApiParams {
@@ -384,6 +400,8 @@ pub struct AtmApiParams {
     pub sar_per_cell: Dur,
     /// DMA descriptor setup per buffer handed to the adapter.
     pub dma_setup: Dur,
+    /// Receive-side event granularity (default: one event per train).
+    pub cell_events: CellEventMode,
 }
 
 impl Default for AtmApiParams {
@@ -393,6 +411,7 @@ impl Default for AtmApiParams {
             num_buffers: 2,
             sar_per_cell: Dur::from_nanos(800),
             dma_setup: Dur::from_micros(40),
+            cell_events: CellEventMode::Train,
         }
     }
 }
@@ -514,17 +533,43 @@ impl<F: Fabric> Network for AtmApiNet<F> {
             // first hop.
             let cells = aal5::cells_for_pdu(chunk) as u64;
             ctx.sim().with_tracer(|tr| tr.count("atm.cells", cells));
-            let (timing, _nic_done) = {
+            let (timing, train) = {
                 let mut a = self.adapters[src.idx()].lock();
                 let start = ctx.now().max(a.tx_sar_free);
                 let nic_done =
                     start + self.params.dma_setup + self.params.sar_per_cell.times(cells);
                 a.tx_sar_free = nic_done;
-                let timing = self.fabric.transfer(src, dst, chunk, nic_done);
+                let (timing, train) = match self.params.cell_events {
+                    CellEventMode::Train => {
+                        (self.fabric.transfer(src, dst, chunk, nic_done), None)
+                    }
+                    CellEventMode::PerCell => {
+                        let train = self.fabric.transfer_train(
+                            src,
+                            dst,
+                            chunk,
+                            cells as usize,
+                            crate::cell::CELL_BYTES,
+                            nic_done,
+                        );
+                        (train.whole, Some(train))
+                    }
+                };
                 a.tx_busy.push_back(timing.first_hop_done);
-                (timing, nic_done)
+                (timing, train)
             };
             lost |= timing.dropped;
+            if let Some(train) = train {
+                if !timing.dropped {
+                    // Approach-1 receiver: each cell raises its own kernel
+                    // event at its arithmetic arrival instant.
+                    for i in 0..train.cells {
+                        ctx.sim().schedule_at(train.cell_arrival(i), |sim| {
+                            sim.with_tracer(|tr| tr.count("atm.cell_events", 1));
+                        });
+                    }
+                }
+            }
             // Receive-side reassembly on dst's adapter.
             let rx_done = {
                 let mut a = self.adapters[dst.idx()].lock();
@@ -685,6 +730,58 @@ mod tests {
             latencies[0]
         );
         assert!(latencies[2] <= latencies[1]);
+    }
+
+    #[test]
+    fn per_cell_mode_pays_one_event_per_cell() {
+        // Same payload through both event modes: identical delivery, but
+        // the per-cell receiver charges the kernel one event per cell while
+        // the train receiver collapses each buffer into a single event.
+        let mut events = Vec::new();
+        for mode in [CellEventMode::Train, CellEventMode::PerCell] {
+            let sim = Sim::new();
+            let fabric = Arc::new(IdealFabric::new(2, Dur::from_micros(5)));
+            let params = AtmApiParams {
+                cell_events: mode,
+                ..AtmApiParams::default()
+            };
+            let net = Arc::new(AtmApiNet::new(fabric, fast_hosts(2), params));
+            let n2 = Arc::clone(&net);
+            sim.spawn("tx", move |ctx| {
+                n2.send(
+                    ctx,
+                    &BlockingWait,
+                    NodeId(0),
+                    NodeId(1),
+                    0,
+                    Bytes::from(vec![7u8; 24_000]),
+                );
+            });
+            sim.spawn("rx", move |ctx| {
+                let msg = net.inbox(NodeId(1)).recv(ctx).unwrap();
+                assert_eq!(msg.payload.len(), 24_000);
+                assert!(msg.payload.iter().all(|&b| b == 7));
+            });
+            let out = sim.run();
+            out.assert_clean();
+            sim.with_tracer(|tr| {
+                let cells = tr.counter("atm.cells");
+                let cell_events = tr.counter("atm.cell_events");
+                match mode {
+                    CellEventMode::Train => assert_eq!(cell_events, 0),
+                    CellEventMode::PerCell => assert_eq!(cell_events, cells),
+                }
+            });
+            events.push(out.events);
+        }
+        // 24 KB ≈ 501 cells: the train path must be far leaner than 1
+        // event per cell — the ≥2× Approach-2 bar with huge margin.
+        assert!(
+            events[0] * 2 <= events[1],
+            "train events {} !≤ half of per-cell events {}",
+            events[0],
+            events[1]
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ proptest! {
     /// AAL5 segmentation/reassembly is lossless for any payload.
     #[test]
     fn aal5_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        let cells = aal5::segment(&payload, 3, 77);
+        let cells = aal5::segment(&payload, 3, 77).unwrap();
         prop_assert_eq!(cells.len(), aal5::cells_for_pdu(payload.len()));
         let back = aal5::reassemble(&cells).unwrap();
         prop_assert_eq!(back, payload);
@@ -43,10 +43,12 @@ proptest! {
         flip_bit in 0u8..8,
     ) {
         let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
-        let mut cells = aal5::segment(&payload, 0, 1);
+        let mut cells = aal5::segment(&payload, 0, 1).unwrap();
         let cell_idx = flip_byte % cells.len();
         let byte_idx = (flip_byte / cells.len()) % 48;
-        cells[cell_idx].payload[byte_idx] ^= 1 << flip_bit;
+        let mut damaged = cells[cell_idx].payload.to_vec();
+        damaged[byte_idx] ^= 1 << flip_bit;
+        cells[cell_idx].payload = Bytes::from(damaged);
         // Either the CRC or (if padding/trailer got hit) length/framing
         // checks must reject it; silent acceptance of different data is
         // the only failure.

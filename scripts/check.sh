@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full verification pipeline. The first four stages mirror CI
+# Full verification pipeline. The first five stages mirror CI
 # (.github/workflows/ci.yml) exactly; the rest are local extras:
 # benches (smoke), docs, and every experiment regenerator.
 set -euo pipefail
@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== analysis: determinism lint + invariant smoke (as CI) =="
 cargo run --release -p ncs-analysis -- all
+
+echo "== pipelined data path smoke (as CI) =="
+cargo run --release -p ncs-bench --bin xp_pipeline -- --smoke
 
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test
