@@ -62,6 +62,7 @@ const LINT_ROOTS: &[&str] = &[
     "crates/p4/src",
     "crates/core/src",
     "crates/apps/src",
+    "crates/bench/src",
 ];
 
 /// One lint hit: a rule, a location, and the offending source line.

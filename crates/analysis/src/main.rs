@@ -18,10 +18,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use ncs_analysis::lint_workspace;
-use ncs_apps::fft::{fft_ncs_with, FftConfig};
+use ncs_apps::fft::{fft_ncs_setup_with, FftConfig};
 use ncs_apps::jpeg_dist::{setup_jpeg_ncs_with, JpegConfig};
 use ncs_apps::matmul::{setup_matmul_ncs_with, MatmulConfig};
-use ncs_core::{ErrorControl, FlowControl, NcsConfig};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig, CAUSAL_STAGES};
 use ncs_net::Testbed;
 use ncs_sim::{AnalysisConfig, InvariantSink, Sim};
 
@@ -101,6 +101,17 @@ fn tally(app: &str, verified: bool, sink: &InvariantSink) -> usize {
     n
 }
 
+/// Checks the causal timelines the observability layer stamped during the
+/// run: every tracked message's stage marks must follow the canonical
+/// `enqueued -> ... -> delivered` walk in order. Returns violation count.
+fn check_timelines(app: &str, sim: &Sim) -> usize {
+    let errs = sim.with_metrics(|m| m.validate_timelines(&CAUSAL_STAGES));
+    for e in &errs {
+        eprintln!("smoke[{app}]: timeline: {e}");
+    }
+    errs.len()
+}
+
 /// Runs the three applications with invariant checking on; returns the
 /// total number of violations.
 fn run_smoke() -> usize {
@@ -121,11 +132,14 @@ fn run_smoke() -> usize {
         );
         sim.run().assert_clean();
         failures += tally("matmul", handle.verify(), &sink);
+        failures += check_timelines("matmul", &sim);
     }
 
     {
+        let sim = Sim::new();
         let (cfg, sink) = checked_cfg();
-        let run = fft_ncs_with(
+        let handle = fft_ncs_setup_with(
+            &sim,
             Testbed::SunAtmLanTcp.build(3),
             FftConfig {
                 m: 64,
@@ -135,7 +149,9 @@ fn run_smoke() -> usize {
             },
             cfg,
         );
-        failures += tally("fft", run.verified, &sink);
+        sim.run().assert_clean();
+        failures += tally("fft", handle.verify(), &sink);
+        failures += check_timelines("fft", &sim);
     }
 
     {
@@ -156,6 +172,7 @@ fn run_smoke() -> usize {
         );
         sim.run().assert_clean();
         failures += tally("jpeg", handle.verify(), &sink);
+        failures += check_timelines("jpeg", &sim);
     }
 
     failures

@@ -491,6 +491,38 @@ pub fn fft_ncs(net: Arc<dyn Network>, cfg: FftConfig) -> FftRun {
 /// the transpose-exchange FFT over a faulty transport.
 pub fn fft_ncs_with(net: Arc<dyn Network>, cfg: FftConfig, ncs_cfg: NcsConfig) -> FftRun {
     let sim = Sim::new();
+    let handle = fft_ncs_setup_with(&sim, net, cfg, ncs_cfg);
+    let out = sim.run();
+    out.assert_clean();
+    FftRun {
+        elapsed: out.end_time.since(ncs_sim::SimTime::ZERO),
+        verified: handle.verify(),
+    }
+}
+
+/// Correctness handle for a staged FFT run (see [`fft_ncs_setup_with`]).
+pub struct FftHandle {
+    expect: Vec<Vec<Cx>>,
+    got: Arc<Mutex<Vec<Option<Vec<Cx>>>>>,
+}
+
+impl FftHandle {
+    /// Whether every sample set matched the sequential FFT. Call after
+    /// `sim.run()`.
+    pub fn verify(&self) -> bool {
+        verify(&self.expect, &self.got)
+    }
+}
+
+/// Stages the FFT onto an existing `sim` without running it, so harnesses
+/// that need the simulator afterwards (tracing, metrics export) can drive
+/// `sim.run()` themselves. Returns the verification handle.
+pub fn fft_ncs_setup_with(
+    sim: &Sim,
+    net: Arc<dyn Network>,
+    cfg: FftConfig,
+    ncs_cfg: NcsConfig,
+) -> FftHandle {
     let (sets, expect) = workload(&cfg);
     let got: Arc<Mutex<Vec<Option<Vec<Cx>>>>> = Arc::new(Mutex::new(vec![None; cfg.sets]));
     let m = cfg.m;
@@ -516,7 +548,7 @@ pub fn fft_ncs_with(net: Arc<dyn Network>, cfg: FftConfig, ncs_cfg: NcsConfig) -
     };
 
     NcsWorld::launch(
-        &sim,
+        sim,
         vec![net],
         n_procs,
         ncs_cfg,
@@ -610,12 +642,7 @@ pub fn fft_ncs_with(net: Arc<dyn Network>, cfg: FftConfig, ncs_cfg: NcsConfig) -
             }
         },
     );
-    let out = sim.run();
-    out.assert_clean();
-    FftRun {
-        elapsed: out.end_time.since(ncs_sim::SimTime::ZERO),
-        verified: verify(&expect, &got),
-    }
+    FftHandle { expect, got }
 }
 
 /// Serializes `(base, values)` for the result collection.

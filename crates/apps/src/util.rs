@@ -5,7 +5,7 @@ use ncs_sim::{Ctx, Sim, SpanKind};
 
 /// Charges `cycles` of computation to a plain green thread (the p4 drivers,
 /// which have no NCS context) and records a compute span.
-pub fn charge_compute(ctx: &Ctx, host: &HostParams, actor: &str, label: &str, cycles: u64) {
+pub fn charge_compute(ctx: &Ctx, host: &HostParams, actor: &str, label: &'static str, cycles: u64) {
     let t0 = ctx.now();
     host.compute(ctx, cycles);
     let t1 = ctx.now();
@@ -15,7 +15,7 @@ pub fn charge_compute(ctx: &Ctx, host: &HostParams, actor: &str, label: &str, cy
 }
 
 /// Records a communication span on `actor` covering `f`'s execution.
-pub fn comm_span<R>(sim: &Sim, actor: &str, label: &str, f: impl FnOnce() -> R) -> R {
+pub fn comm_span<R>(sim: &Sim, actor: &str, label: &'static str, f: impl FnOnce() -> R) -> R {
     let t0 = sim.now();
     let r = f();
     let t1 = sim.now();

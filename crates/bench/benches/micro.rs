@@ -128,6 +128,41 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    use ncs_sim::{MetricsRegistry, SimTime, SpanKind, Tracer};
+    let mut g = c.benchmark_group("observability");
+    // Guard for the hot-path span cost: labels are `&'static str` and
+    // actors interned ids, so recording a span is push-only — and a
+    // disabled tracer must stay a branch, not an allocation.
+    let t0 = SimTime::ZERO;
+    let t1 = SimTime::ZERO + Dur::from_micros(3);
+    g.bench_function("span-enabled", |b| {
+        let mut tr = Tracer::new();
+        tr.enable();
+        let actor = tr.intern("p0/t0");
+        b.iter(|| tr.span_on(black_box(actor), SpanKind::Comm, "send", t0, t1))
+    });
+    g.bench_function("span-disabled", |b| {
+        let mut tr = Tracer::new();
+        let actor = tr.intern("p0/t0");
+        b.iter(|| tr.span_on(black_box(actor), SpanKind::Comm, "send", t0, t1))
+    });
+    g.bench_function("metrics-observe", |b| {
+        let mut m = MetricsRegistry::new();
+        b.iter(|| m.observe("obs.e2e", black_box(Dur::from_micros(7))))
+    });
+    g.bench_function("causal-mark", |b| {
+        let mut m = MetricsRegistry::new();
+        let mut causal = 0u64;
+        b.iter(|| {
+            causal += 1;
+            m.mark(black_box(causal), "enqueued", t0);
+            m.mark(causal, "delivered", t1);
+        })
+    });
+    g.finish();
+}
+
 fn bench_sim_ping_pong(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-end-to-end");
     g.sample_size(20);
@@ -226,6 +261,7 @@ criterion_group!(
     bench_kernels,
     bench_huffman,
     bench_fabrics,
+    bench_tracing,
     bench_sim_ping_pong
 );
 criterion_main!(benches);

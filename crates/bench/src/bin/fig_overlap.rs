@@ -17,7 +17,7 @@ use ncs_sim::{Sim, SpanKind};
 fn maybe_dump_csv(sim: &Sim, tag: &str) {
     if std::env::args().any(|a| a == "--csv") {
         std::fs::create_dir_all("results").expect("create results/");
-        let csv = sim.with_tracer(|tr| ncs_bench::spans_to_csv(tr.spans()));
+        let csv = sim.with_tracer(|tr| ncs_bench::spans_to_csv(tr));
         let path = format!("results/overlap_{tag}.csv");
         std::fs::write(&path, csv).expect("write CSV");
         println!("(spans written to {path})");

@@ -294,14 +294,15 @@ mod tests {
     }
 }
 
-/// Renders recorded spans as CSV (`actor,kind,label,start_us,end_us`) for
-/// external plotting of the timeline figures.
-pub fn spans_to_csv(spans: &[ncs_sim::Span]) -> String {
+/// Renders the tracer's recorded spans as CSV
+/// (`actor,kind,label,start_us,end_us`) for external plotting of the
+/// timeline figures. Takes the tracer itself to resolve interned actors.
+pub fn spans_to_csv(tr: &ncs_sim::Tracer) -> String {
     let mut s = String::from("actor,kind,label,start_us,end_us\n");
-    for sp in spans {
+    for sp in tr.spans() {
         s.push_str(&format!(
             "{},{:?},{},{},{}\n",
-            sp.actor,
+            tr.actor_name(sp.actor),
             sp.kind,
             sp.label,
             sp.t0.as_ps() / 1_000_000,
@@ -314,18 +315,20 @@ pub fn spans_to_csv(spans: &[ncs_sim::Span]) -> String {
 #[cfg(test)]
 mod csv_tests {
     use super::*;
-    use ncs_sim::{Dur, SimTime, Span, SpanKind};
+    use ncs_sim::{Dur, SimTime, SpanKind, Tracer};
 
     #[test]
     fn csv_has_header_and_rows() {
-        let spans = vec![Span {
-            actor: "p0/t0".into(),
-            kind: SpanKind::Compute,
-            label: "matmul".into(),
-            t0: SimTime::ZERO,
-            t1: SimTime::ZERO + Dur::from_micros(25),
-        }];
-        let csv = spans_to_csv(&spans);
+        let mut tr = Tracer::new();
+        tr.enable();
+        tr.span(
+            "p0/t0",
+            SpanKind::Compute,
+            "matmul",
+            SimTime::ZERO,
+            SimTime::ZERO + Dur::from_micros(25),
+        );
+        let csv = spans_to_csv(&tr);
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), "actor,kind,label,start_us,end_us");
         assert_eq!(lines.next().unwrap(), "p0/t0,Compute,matmul,0,25");

@@ -1,0 +1,98 @@
+//! Golden-trace determinism gate: the fixed-seed 4-host matmul, run under
+//! full observability, must export a Chrome trace that is (a) byte-identical
+//! across two runs in the same process and (b) byte-identical to the golden
+//! snapshot checked in at `tests/golden/trace_matmul.json`.
+//!
+//! Any nondeterminism in the scheduler, the network stack, the metrics
+//! registry, or the trace serializer shows up here as a byte diff. If the
+//! diff is *intended* (the trace format or the instrumentation changed),
+//! regenerate the snapshot:
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin xp_observe -- --smoke
+//! cp results/trace_matmul.json crates/bench/tests/golden/trace_matmul.json
+//! ```
+
+use ncs_apps::matmul::{setup_matmul_ncs_with, MatmulConfig};
+use ncs_core::{ErrorControl, FlowControl, NcsConfig};
+use ncs_net::atm::{AtmLanFabric, AtmLanParams};
+use ncs_net::{AtmApiNet, AtmApiParams, HostParams, Network};
+use ncs_sim::{chrome_trace_json, AnalysisConfig, Sim};
+use std::sync::Arc;
+
+const GOLDEN: &str = include_str!("golden/trace_matmul.json");
+
+/// The exact workload `xp_observe` gates on: 4 worker nodes on a 5-host
+/// FORE-LAN HSM stack, dim-32 matmul, seed 7, monolithic buffers.
+fn run_golden_workload() -> String {
+    let (analysis, sink) = AnalysisConfig::recording();
+    let sim = Sim::new();
+    sim.with_tracer(|tr| tr.enable_detail());
+    let fabric = Arc::new(AtmLanFabric::new(AtmLanParams::fore_lan(5)));
+    let hosts = vec![HostParams::sparc_ipx(); 5];
+    let net: Arc<dyn Network> = Arc::new(AtmApiNet::new(fabric, hosts, AtmApiParams::default()));
+    let cfg = NcsConfig {
+        flow: FlowControl::Credit { window: 4 },
+        error: ErrorControl::None,
+        io_buffer_bytes: 16 * 1024,
+        analysis,
+        ..NcsConfig::default()
+    };
+    let handle = setup_matmul_ncs_with(
+        &sim,
+        net,
+        MatmulConfig {
+            dim: 32,
+            nodes: 4,
+            seed: 7,
+        },
+        cfg,
+    );
+    sim.run().assert_clean();
+    assert!(handle.verify(), "matmul result must verify bit-exact");
+    assert!(sink.take().is_empty(), "analysis violations during golden run");
+    sim.with_tracer(|tr| sim.with_metrics(|mm| chrome_trace_json(tr, mm)))
+}
+
+#[test]
+fn two_runs_export_identical_traces() {
+    let a = run_golden_workload();
+    let b = run_golden_workload();
+    assert_eq!(a, b, "two fixed-seed runs must export byte-identical traces");
+}
+
+#[test]
+fn trace_matches_checked_in_golden() {
+    let actual = run_golden_workload();
+    if actual != GOLDEN {
+        // Park the actual next to the harness output for inspection.
+        let _ = std::fs::create_dir_all("results");
+        let _ = std::fs::write("results/trace_matmul.actual.json", &actual);
+        panic!(
+            "exported trace diverged from tests/golden/trace_matmul.json \
+             ({} vs {} bytes; actual written to results/trace_matmul.actual.json). \
+             If the change is intended, regenerate the snapshot per the module docs.",
+            actual.len(),
+            GOLDEN.len()
+        );
+    }
+}
+
+#[test]
+fn golden_trace_is_wellformed_chrome_json() {
+    // Structural sanity on the snapshot itself so a bad regeneration can't
+    // silently become the new truth: Chrome trace_event array form, with
+    // metadata ("M"), complete-span ("X") and counter ("C") events.
+    let g = GOLDEN.trim();
+    assert!(
+        g.starts_with("{\"traceEvents\":[") && g.ends_with('}'),
+        "must be the Chrome trace object form"
+    );
+    for (ph, what) in [("\"ph\":\"M\"", "metadata"), ("\"ph\":\"X\"", "spans"), ("\"ph\":\"C\"", "counters")] {
+        assert!(g.contains(ph), "golden trace has no {what} events");
+    }
+    // Balanced braces => no truncated snapshot.
+    let opens = g.bytes().filter(|&b| b == b'{').count();
+    let closes = g.bytes().filter(|&b| b == b'}').count();
+    assert_eq!(opens, closes, "unbalanced braces: truncated snapshot?");
+}

@@ -27,7 +27,7 @@ use bytes::Bytes;
 use ncs_mts::{Mts, MtsConfig, MtsCtx, MtsTid};
 use ncs_net::stack::WaitPolicy;
 use ncs_net::{Delivery, HostParams, Network, NodeId};
-use ncs_sim::{AnalysisConfig, Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
+use ncs_sim::{ActorId, AnalysisConfig, Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -172,6 +172,17 @@ pub struct NcsMsg {
     /// Payload.
     pub data: Bytes,
     class: MsgClass,
+    /// Causal timeline id threaded from `NCS_send` to delivery (0 when the
+    /// message is untracked: local delivery, control traffic).
+    causal: u64,
+}
+
+impl NcsMsg {
+    /// Causal timeline id assigned at `NCS_send` (0 = untracked). Look the
+    /// per-layer stage marks up with [`ncs_sim::MetricsRegistry::timeline`].
+    pub fn causal(&self) -> u64 {
+        self.causal
+    }
 }
 
 struct SendReq {
@@ -191,6 +202,9 @@ struct SendReq {
     /// first transmission — after the wire send it stamps `sent_at` on the
     /// matching [`UnackedMsg`] and arms the retransmission timer.
     seq: Option<u32>,
+    /// Causal timeline id (0 = untracked). Chunks of one fragmented
+    /// transfer all carry the logical message's id.
+    causal: u64,
 }
 
 struct RecvReq {
@@ -646,7 +660,7 @@ impl NcsProc {
                 proc: proc_.clone(),
                 mctx: m,
                 thread: logical,
-                actor: m.mts().actor(m.tid()),
+                actor: m.mts().actor_id(m.tid()),
             };
             body(&nctx);
             proc_.user_thread_done();
@@ -843,7 +857,7 @@ pub struct NcsCtx<'a> {
     proc: NcsProc,
     mctx: &'a MtsCtx<'a>,
     thread: u32,
-    actor: String,
+    actor: ActorId,
 }
 
 /// MTS-aware wait policy: wire waits block only the calling (system)
@@ -885,12 +899,12 @@ impl NcsCtx<'_> {
 
     /// Charges `cycles` of computation to this thread (CPU held) and
     /// records a compute span for the timeline figures.
-    pub fn compute(&self, cycles: u64, label: &str) {
+    pub fn compute(&self, cycles: u64, label: &'static str) {
         let t0 = self.ctx().now();
         self.proc.host().compute(self.ctx(), cycles);
         let t1 = self.ctx().now();
         self.proc.inner.sim.with_tracer(|tr| {
-            tr.span(&self.actor, SpanKind::Compute, label, t0, t1);
+            tr.span_on(self.actor, SpanKind::Compute, label, t0, t1);
         });
     }
 
@@ -910,6 +924,17 @@ impl NcsCtx<'_> {
         assert!(to.proc < self.proc.num_procs(), "destination out of range");
         assert!(tier < self.proc.inner.nets.len(), "no such transport tier");
         let t0 = self.ctx().now();
+        // Remote data messages get a causal timeline: every layer stamps
+        // its hand-off so the end-to-end latency decomposes per stage.
+        let causal = if class == MsgClass::Data && to.proc != self.proc.id() {
+            self.proc.inner.sim.with_metrics(|mm| {
+                let c = mm.next_causal();
+                mm.mark(c, "enqueued", t0);
+                c
+            })
+        } else {
+            0
+        };
         if to.proc == self.proc.id() {
             // Local delivery: one copy at memory speed, no wire.
             let h = self.proc.host();
@@ -924,6 +949,7 @@ impl NcsCtx<'_> {
                 tag,
                 data,
                 class,
+                causal: 0,
             });
         } else if self.proc.inner.state.lock().dead_peers.contains(&to.proc) {
             // Error control exhausted its retries on this destination:
@@ -950,6 +976,7 @@ impl NcsCtx<'_> {
                     waiter: Some(self.mctx.tid()),
                     prewrapped: false,
                     seq: None,
+                    causal,
                 });
                 self.proc
                     .inner
@@ -963,7 +990,7 @@ impl NcsCtx<'_> {
         }
         let t1 = self.ctx().now();
         self.proc.inner.sim.with_tracer(|tr| {
-            tr.span(&self.actor, SpanKind::Comm, "send", t0, t1);
+            tr.span_full(self.actor, SpanKind::Comm, "send", t0, t1, None, causal);
         });
     }
 
@@ -1023,6 +1050,8 @@ impl NcsCtx<'_> {
                 tag,
             ) {
                 st.recv_msgs += 1;
+                drop(st);
+                observe_delivery(&self.proc.inner, m.causal, self.ctx().now());
                 return Some(m);
             }
         }
@@ -1069,6 +1098,7 @@ impl NcsCtx<'_> {
             self.mctx.block();
             if let Some(m) = slot.lock().take() {
                 self.proc.inner.state.lock().recv_msgs += 1;
+                observe_delivery(&self.proc.inner, m.causal, self.ctx().now());
                 return Some(m);
             }
             if *timed_out.lock() {
@@ -1132,8 +1162,9 @@ impl NcsCtx<'_> {
             self.proc.inner.state.lock().recv_msgs += 1;
         }
         let t1 = self.ctx().now();
+        observe_delivery(&self.proc.inner, msg.causal, t1);
         self.proc.inner.sim.with_tracer(|tr| {
-            tr.span(&self.actor, SpanKind::Comm, "recv", t0, t1);
+            tr.span_full(self.actor, SpanKind::Comm, "recv", t0, t1, None, msg.causal);
         });
         msg
     }
@@ -1371,6 +1402,7 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                     waiter: None,
                     prewrapped: true,
                     seq: None,
+                    causal: 0,
                 };
                 st.retransmits += 1;
                 st.backoff_events += 1;
@@ -1466,6 +1498,55 @@ fn register_unacked(inner: &Arc<ProcInner>, st: &mut MpsState, req: &SendReq) ->
     (seq, wrapped)
 }
 
+/// The causal stage sequence a tracked data message walks from `NCS_send`
+/// to `NCS_recv`. Chunked transfers visit `reassembled`; monolithic ones
+/// skip it. Consecutive present stages are contiguous, so their diffs sum
+/// exactly to the end-to-end latency.
+pub const CAUSAL_STAGES: [&str; 7] = [
+    "enqueued",
+    "sq_popped",
+    "wire_start",
+    "arrived",
+    "picked",
+    "reassembled",
+    "delivered",
+];
+
+/// Latency-component histogram fed by the stage *ending* at this mark.
+pub fn causal_component(stage: &str) -> &'static str {
+    match stage {
+        "sq_popped" => "obs.queue_wait",
+        "wire_start" => "obs.inject",
+        "arrived" => "obs.wire",
+        "picked" => "obs.pickup",
+        "reassembled" => "obs.reassembly",
+        "delivered" => "obs.deliver",
+        _ => "obs.other",
+    }
+}
+
+/// Stamps `delivered` on the message's timeline and folds the stage diffs
+/// into the per-component latency histograms (plus `obs.e2e`).
+fn observe_delivery(inner: &Arc<ProcInner>, causal: u64, now: SimTime) {
+    if causal == 0 {
+        return;
+    }
+    inner.sim.with_metrics(|mm| {
+        mm.mark(causal, "delivered", now);
+        let Some(tl) = mm.timeline(causal).cloned() else {
+            return;
+        };
+        for w in tl.windows(2) {
+            let (_, t0) = w[0];
+            let (stage, t1) = w[1];
+            mm.observe(causal_component(stage), t1.saturating_since(t0));
+        }
+        if let (Some(&(_, first)), Some(&(_, last))) = (tl.first(), tl.last()) {
+            mm.observe("obs.e2e", last.saturating_since(first));
+        }
+    });
+}
+
 /// Puts one request on the wire and runs its post-send bookkeeping: RTT
 /// stamp + retransmission timer for checked frames, the sent counter, and
 /// the blocked sender's wakeup.
@@ -1474,6 +1555,17 @@ fn transmit_one(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
     let net = &inner.nets[req.tier];
     let tag = encode_tag(req.class, req.from_thread, req.to.thread, req.user_tag);
     let dst = req.to;
+    if req.causal != 0 {
+        // The wire tag is fully packed, so the causal id cannot ride it.
+        // Correlate across processes through the shared registry instead:
+        // the transport stamps `sent_at = now()` at its entry, which is
+        // exactly this instant, so (dst, tag, sent_at) keys the delivery.
+        let t = m.ctx().now();
+        inner.sim.with_metrics(|mm| {
+            mm.mark(req.causal, "wire_start", t);
+            mm.bind_wire((dst.proc as u64, tag, t.as_ps()), req.causal);
+        });
+    }
     net.send(
         m.ctx(),
         &policy,
@@ -1676,6 +1768,7 @@ fn send_fragmented(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
                 waiter: None,
                 prewrapped: false,
                 seq: None,
+                causal: req.causal,
             };
             if checked {
                 let mut st = inner.state.lock();
@@ -1733,6 +1826,10 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             m.block(); // woken by NCS_send (or shutdown / final ack)
             continue;
         };
+        if req.causal != 0 {
+            let t = m.ctx().now();
+            inner.sim.with_metrics(|mm| mm.mark(req.causal, "sq_popped", t));
+        }
         // Queued frames toward a peer already declared dead fail here
         // rather than burning a fresh retry budget each. A prewrapped frame
         // is a retransmission whose give-up purge already raised the
@@ -1908,6 +2005,7 @@ fn grant_credit(inner: &Arc<ProcInner>, tier: usize, src: usize) {
                 waiter: None,
                 prewrapped: false,
                 seq: None,
+                causal: 0,
             });
             true
         } else {
@@ -1931,6 +2029,7 @@ fn ingest_fragment(
     to_thread: u32,
     user_tag: u32,
     payload: Bytes,
+    causal: u64,
 ) {
     let malformed = |why: String| {
         if inner.cfg.analysis.active() {
@@ -1987,12 +2086,17 @@ fn ingest_fragment(
                 tag: user_tag,
                 data: Bytes::from(v),
                 class: MsgClass::Data,
+                causal,
             });
             st.peak_stash = st.peak_stash.max(st.stash.len());
             st.reassembled_msgs += 1;
         }
         done
     };
+    if complete && causal != 0 {
+        let t = inner.sim.now();
+        inner.sim.with_metrics(|mm| mm.mark(causal, "reassembled", t));
+    }
     if let Some(expected) = mismatch {
         malformed(format!(
             "transfer {xfer} declares {total} chunks, earlier chunks declared {expected}"
@@ -2009,6 +2113,16 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
     let net = &inner.nets[tier];
     let cost = net.recv_pickup_cost(NodeId(inner.id as u32), d.payload.len());
     m.ctx().sleep(cost);
+    // Resolve the sender's wire-key binding back to its causal timeline
+    // (0 for control traffic and untracked frames). Stage marks are only
+    // stamped on the accepted paths below, so duplicates and corrupted
+    // frames never disorder a timeline.
+    let causal = inner
+        .sim
+        .with_metrics(|mm| mm.resolve_wire((inner.id as u64, d.tag, d.sent_at.as_ps())))
+        .unwrap_or(0);
+    let t_arrived = d.arrived_at;
+    let t_picked = m.ctx().now();
     let (class, from_thread, to_thread, user_tag) = decode_tag(d.tag);
     let from = ThreadAddr::new(d.src.idx(), from_thread);
     let mut payload = d.payload;
@@ -2043,6 +2157,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                 waiter: None,
                 prewrapped: false,
                 seq: None,
+                causal: 0,
             });
         }
         if let Some(tid) = inner.sys.lock().send {
@@ -2131,6 +2246,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                         waiter: None,
                         prewrapped: true,
                         seq: None,
+                        causal: 0,
                     }
                 })
             };
@@ -2187,9 +2303,21 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
             }
         }
         MsgClass::Frag => {
-            ingest_fragment(inner, tier, from, to_thread, user_tag, payload);
+            if causal != 0 {
+                inner.sim.with_metrics(|mm| {
+                    mm.mark(causal, "arrived", t_arrived);
+                    mm.mark(causal, "picked", t_picked);
+                });
+            }
+            ingest_fragment(inner, tier, from, to_thread, user_tag, payload, causal);
         }
         _ => {
+            if causal != 0 {
+                inner.sim.with_metrics(|mm| {
+                    mm.mark(causal, "arrived", t_arrived);
+                    mm.mark(causal, "picked", t_picked);
+                });
+            }
             {
                 let mut st = inner.state.lock();
                 st.stash.push_back(NcsMsg {
@@ -2198,6 +2326,7 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                     tag: user_tag,
                     data: payload,
                     class,
+                    causal,
                 });
                 st.peak_stash = st.peak_stash.max(st.stash.len());
             }

@@ -37,7 +37,7 @@ pub mod world;
 
 pub use addr::{MsgClass, ThreadAddr};
 pub use env::{
-    ErrorControl, ErrorStats, FlowControl, NcsConfig, NcsCtx, NcsException, NcsMsg, NcsProc,
-    PeerRto, RtoConfig, EXC_DELIVERY_FAILED,
+    causal_component, ErrorControl, ErrorStats, FlowControl, NcsConfig, NcsCtx, NcsException,
+    NcsMsg, NcsProc, PeerRto, RtoConfig, CAUSAL_STAGES, EXC_DELIVERY_FAILED,
 };
 pub use world::NcsWorld;

@@ -21,7 +21,7 @@
 //! unless done through [`MtsCtx::external_block`], which is how NCS's
 //! receive thread waits for the network while sibling threads keep running.
 
-use ncs_sim::{AnalysisConfig, Ctx, Dur, Sim, SimTime, SpanKind, ThreadId, WaitGraph};
+use ncs_sim::{ActorId, AnalysisConfig, Ctx, Dur, Sim, SimTime, SpanKind, ThreadId, WaitGraph};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -57,6 +57,8 @@ enum TState {
 
 struct Tcb {
     name: String,
+    /// Interned `proc/thread` label, so per-event tracing never allocates.
+    actor: ActorId,
     priority: usize,
     state: TState,
     green: Option<ThreadId>,
@@ -69,6 +71,10 @@ struct Tcb {
     sleep_gen: u64,
     blocked_since: Option<SimTime>,
     total_blocked: Dur,
+    /// When the current run slice started (dispatch + context-switch cost).
+    run_since: Option<SimTime>,
+    /// When the thread last entered a runnable queue.
+    runnable_since: Option<SimTime>,
     dispatches: u64,
     /// MTS threads waiting in [`MtsCtx::join`] for this one to exit.
     exit_waiters: Vec<MtsTid>,
@@ -131,8 +137,17 @@ impl Inner {
         blocked.unlink(arena, slot);
     }
 
-    fn any_runnable(&self) -> bool {
-        self.runnable.iter().any(|l| !l.is_empty())
+    /// Whether a runnable thread exists that a yielding thread of
+    /// `priority` would actually hand the CPU to (its own level or higher).
+    /// Strictly-lower levels never win a yield, so yielding to them is a
+    /// no-op — re-dispatching the yielder itself would wake the green
+    /// thread that is still running, which the kernel (correctly) rejects.
+    fn any_runnable_at_or_above(&self, priority: usize) -> bool {
+        let cut = match self.policy {
+            SchedPolicy::MultilevelRoundRobin => priority,
+            SchedPolicy::GlobalFifo => 0,
+        };
+        self.runnable[..=cut].iter().any(|l| !l.is_empty())
     }
 }
 
@@ -232,13 +247,22 @@ impl Mts {
     ) -> MtsTid {
         assert!(priority < PRIORITY_LEVELS, "priority out of range");
         let name = name.into();
+        let green_name = {
+            let inner = self.inner.lock();
+            format!("{}/{}", inner.proc_name, name)
+        };
+        // Intern the actor label once; every later trace event for this
+        // thread records the small id instead of re-allocating the string.
+        let actor = self.sim.with_tracer(|tr| tr.intern(&green_name));
         let tid;
         {
             let mut inner = self.inner.lock();
             let slot = inner.arena.add_slot();
             tid = MtsTid(slot);
+            let now = self.sim.now();
             inner.tcbs.push(Tcb {
                 name: name.clone(),
+                actor,
                 priority,
                 state: TState::Runnable,
                 green: None,
@@ -247,6 +271,8 @@ impl Mts {
                 sleep_gen: 0,
                 blocked_since: None,
                 total_blocked: Dur::ZERO,
+                run_since: None,
+                runnable_since: Some(now),
                 dispatches: 0,
                 exit_waiters: Vec::new(),
                 wait_on: None,
@@ -256,10 +282,6 @@ impl Mts {
             self.queue_check(&inner, "spawn");
         }
         let mts = self.clone();
-        let green_name = {
-            let inner = self.inner.lock();
-            format!("{}/{}", inner.proc_name, name)
-        };
         let green = self.sim.spawn(green_name, move |ctx| {
             let mctx = MtsCtx {
                 mts: mts.clone(),
@@ -347,24 +369,47 @@ impl Mts {
         format!("{}/{}", inner.proc_name, inner.tcbs[tid.0 as usize].name)
     }
 
+    /// Interned tracer actor for `tid` — the allocation-free handle for
+    /// hot-path span recording ([`ncs_sim::Tracer::span_on`]).
+    pub fn actor_id(&self, tid: MtsTid) -> ActorId {
+        self.inner.lock().tcbs[tid.0 as usize].actor
+    }
+
     // -- internals ---------------------------------------------------------
 
     fn note_unblocked(&self, inner: &mut Inner, tid: MtsTid, now: SimTime) {
-        let name;
-        let since = {
+        let (actor, since) = {
             let tcb = &mut inner.tcbs[tid.0 as usize];
             match tcb.blocked_since.take() {
                 None => return,
                 Some(since) => {
                     tcb.total_blocked += now.saturating_since(since);
-                    name = tcb.name.clone();
-                    since
+                    (tcb.actor, since)
                 }
             }
         };
-        let actor = format!("{}/{}", inner.proc_name, name);
         self.sim.with_tracer(|tr| {
-            tr.span(&actor, SpanKind::Idle, "blocked", since, now);
+            tr.span_on(actor, SpanKind::Idle, "blocked", since, now);
+        });
+    }
+
+    /// Closes the current run slice of `tid` (a scheduler timeline span at
+    /// detail level, plus the always-on run-slice histogram). Call at every
+    /// Running → (Runnable|Blocked|External|Exited) transition.
+    fn note_run_end(&self, inner: &mut Inner, tid: MtsTid, now: SimTime) {
+        let (actor, since) = {
+            let tcb = &mut inner.tcbs[tid.0 as usize];
+            match tcb.run_since.take() {
+                None => return,
+                Some(since) => (tcb.actor, since),
+            }
+        };
+        self.sim
+            .with_metrics(|m| m.observe("mts.run_slice", now.saturating_since(since)));
+        self.sim.with_tracer(|tr| {
+            if tr.detail_enabled() {
+                tr.span_on(actor, SpanKind::Compute, "run", since, now);
+            }
         });
     }
 
@@ -373,6 +418,7 @@ impl Mts {
         {
             let tcb = &mut inner.tcbs[tid.0 as usize];
             tcb.state = TState::Runnable;
+            tcb.runnable_since = Some(sim.now());
             tcb.wait_on = None;
         }
         inner.push_runnable(tid.0);
@@ -397,19 +443,31 @@ impl Mts {
                 }
                 inner.switches += 1;
                 let run_at = now + inner.cs_cost;
-                {
+                let (actor, queued_since) = {
                     let tcb = &mut inner.tcbs[slot as usize];
                     tcb.state = TState::Running;
                     tcb.run_at = run_at;
+                    tcb.run_since = Some(run_at);
                     tcb.dispatches += 1;
-                }
+                    (tcb.actor, tcb.runnable_since.take())
+                };
                 inner.running = Some(tid);
-                if !inner.cs_cost.is_zero() {
-                    let actor = format!("{}/{}", inner.proc_name, inner.tcbs[slot as usize].name);
-                    self.sim.with_tracer(|tr| {
-                        tr.span(&actor, SpanKind::Overhead, "ctx-switch", now, run_at);
-                    });
-                }
+                self.sim.with_metrics(|m| {
+                    m.inc("mts.dispatches", 1);
+                    if let Some(since) = queued_since {
+                        m.observe("mts.runnable_wait", now.saturating_since(since));
+                    }
+                });
+                self.sim.with_tracer(|tr| {
+                    if tr.detail_enabled() {
+                        if let Some(since) = queued_since {
+                            tr.span_on(actor, SpanKind::Runnable, "runnable", since, now);
+                        }
+                    }
+                    if !inner.cs_cost.is_zero() {
+                        tr.span_on(actor, SpanKind::Overhead, "ctx-switch", now, run_at);
+                    }
+                });
                 if let Some(green) = inner.tcbs[slot as usize].green {
                     self.sim.wake(green);
                 }
@@ -532,6 +590,7 @@ impl Mts {
         {
             let mut inner = self.inner.lock();
             debug_assert_eq!(inner.running, Some(tid));
+            self.note_run_end(&mut inner, tid, ctx.now());
             inner.tcbs[tid.0 as usize].state = TState::Exited;
             joiners = std::mem::take(&mut inner.tcbs[tid.0 as usize].exit_waiters);
             inner.running = None;
@@ -661,14 +720,23 @@ impl MtsCtx<'_> {
         {
             let mut inner = self.mts.inner.lock();
             debug_assert_eq!(inner.running, Some(self.tid));
-            // Fast path: nothing else can run — skip the switch entirely.
-            if !inner.any_runnable() {
+            // Fast path: nothing that could win the CPU — skip the switch
+            // entirely. This includes the case where only strictly-lower
+            // priority threads are runnable: round robin never hands the
+            // CPU down a level while the yielder is still runnable.
+            let my_prio = inner.tcbs[self.tid.0 as usize].priority;
+            if !inner.any_runnable_at_or_above(my_prio) {
                 return;
             }
-            inner.tcbs[self.tid.0 as usize].state = TState::Runnable;
+            let now = self.ctx.now();
+            self.mts.note_run_end(&mut inner, self.tid, now);
+            {
+                let tcb = &mut inner.tcbs[self.tid.0 as usize];
+                tcb.state = TState::Runnable;
+                tcb.runnable_since = Some(now);
+            }
             inner.push_runnable(self.tid.0);
             inner.running = None;
-            let now = self.ctx.now();
             self.mts.dispatch_next(&mut inner, now);
         }
         self.wait_for_dispatch();
@@ -697,6 +765,7 @@ impl MtsCtx<'_> {
                 return;
             }
             let now = self.ctx.now();
+            self.mts.note_run_end(&mut inner, self.tid, now);
             {
                 let tcb = &mut inner.tcbs[self.tid.0 as usize];
                 tcb.state = TState::Blocked;
@@ -723,6 +792,7 @@ impl MtsCtx<'_> {
             let mut inner = self.mts.inner.lock();
             debug_assert_eq!(inner.running, Some(self.tid));
             let now = self.ctx.now();
+            self.mts.note_run_end(&mut inner, self.tid, now);
             {
                 let tcb = &mut inner.tcbs[self.tid.0 as usize];
                 tcb.state = TState::Blocked;
@@ -776,15 +846,25 @@ impl MtsCtx<'_> {
     /// stalling sibling compute threads. While inside `f`, sibling threads
     /// are scheduled normally.
     pub fn external_block<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t_ext = self.ctx.now();
         {
             let mut inner = self.mts.inner.lock();
             debug_assert_eq!(inner.running, Some(self.tid));
+            self.mts.note_run_end(&mut inner, self.tid, t_ext);
             inner.tcbs[self.tid.0 as usize].state = TState::External;
             inner.running = None;
-            let now = self.ctx.now();
-            self.mts.dispatch_next(&mut inner, now);
+            self.mts.dispatch_next(&mut inner, t_ext);
         }
         let r = f();
+        let (ext_actor, t_back) = {
+            let inner = self.mts.inner.lock();
+            (inner.tcbs[self.tid.0 as usize].actor, self.ctx.now())
+        };
+        self.ctx.sim().with_tracer(|tr| {
+            if tr.detail_enabled() {
+                tr.span_on(ext_actor, SpanKind::Idle, "kernel-wait", t_ext, t_back);
+            }
+        });
         // Re-acquire the CPU.
         let direct = {
             let mut inner = self.mts.inner.lock();
@@ -799,13 +879,19 @@ impl MtsCtx<'_> {
                     let tcb = &mut inner.tcbs[self.tid.0 as usize];
                     tcb.state = TState::Running;
                     tcb.run_at = run_at;
+                    tcb.run_since = Some(run_at);
                     tcb.dispatches += 1;
                 }
                 inner.running = Some(self.tid);
+                self.ctx.sim().with_metrics(|m| m.inc("mts.dispatches", 1));
                 true
             } else {
                 // CPU busy: queue like any runnable thread and wait.
-                inner.tcbs[self.tid.0 as usize].state = TState::Runnable;
+                {
+                    let tcb = &mut inner.tcbs[self.tid.0 as usize];
+                    tcb.state = TState::Runnable;
+                    tcb.runnable_since = Some(self.ctx.now());
+                }
                 inner.push_runnable(self.tid.0);
                 false
             }

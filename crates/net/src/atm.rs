@@ -208,6 +208,10 @@ impl Fabric for AtmLanFabric {
         self.params.access.rate_bps
     }
 
+    fn output_backlog(&self, node: NodeId, now: SimTime) -> Option<u64> {
+        Some(self.downlink(node).backlog_bytes(now))
+    }
+
     fn description(&self) -> String {
         format!(
             "ATM LAN: {} hosts, {} access, 1 switch ({} latency)",
@@ -425,6 +429,10 @@ impl Fabric for NynetFabric {
 
     fn access_rate(&self, _src: NodeId) -> u64 {
         self.params.access.rate_bps
+    }
+
+    fn output_backlog(&self, node: NodeId, now: SimTime) -> Option<u64> {
+        Some(self.downlink(node).backlog_bytes(now))
     }
 
     fn description(&self) -> String {

@@ -122,6 +122,15 @@ pub trait Fabric: Send + Sync + 'static {
     /// layers for send-buffer pacing.
     fn access_rate(&self, src: NodeId) -> u64;
 
+    /// Bytes queued in the switch output port feeding `node`'s downlink at
+    /// `now`. `None` when the fabric has no per-port output buffering to
+    /// observe (e.g. [`IdealFabric`]). Observability hook only: reading it
+    /// must not perturb timing.
+    fn output_backlog(&self, node: NodeId, now: SimTime) -> Option<u64> {
+        let _ = (node, now);
+        None
+    }
+
     /// Human-readable summary for experiment reports.
     fn description(&self) -> String;
 }

@@ -306,6 +306,13 @@ impl<F: Fabric> Network for TcpNet<F> {
                 .transfer(src, dst, seg + TCP_IP_HEADERS, ctx.now());
             lost |= timing.dropped;
             last_arrival = last_arrival.max(timing.arrival);
+            // Observability: depth of the switch output port feeding dst,
+            // sampled right after this segment was booked onto it.
+            if let Some(b) = self.fabric.output_backlog(dst, ctx.now()) {
+                ctx.sim().with_metrics(|m| {
+                    m.gauge_set("switch.out_bytes", dst.0, ctx.now(), b as i64)
+                });
+            }
             // Send-buffer pacing: the process may queue at most `sockbuf`
             // bytes ahead of the wire; beyond that, write() blocks.
             let ahead = timing.first_hop_done.saturating_since(ctx.now());
@@ -533,7 +540,7 @@ impl<F: Fabric> Network for AtmApiNet<F> {
             // first hop.
             let cells = aal5::cells_for_pdu(chunk) as u64;
             ctx.sim().with_tracer(|tr| tr.count("atm.cells", cells));
-            let (timing, train) = {
+            let (timing, train, depth) = {
                 let mut a = self.adapters[src.idx()].lock();
                 let start = ctx.now().max(a.tx_sar_free);
                 let nic_done =
@@ -556,8 +563,19 @@ impl<F: Fabric> Network for AtmApiNet<F> {
                     }
                 };
                 a.tx_busy.push_back(timing.first_hop_done);
-                (timing, train)
+                let depth = a.tx_busy.len();
+                (timing, train, depth)
             };
+            // Observability: adapter pipeline occupancy (buffers in flight)
+            // and switch output-port depth for this destination.
+            ctx.sim().with_metrics(|m| {
+                m.gauge_set("hsm.tx_busy", src.0, ctx.now(), depth as i64);
+            });
+            if let Some(b) = self.fabric.output_backlog(dst, ctx.now()) {
+                ctx.sim().with_metrics(|m| {
+                    m.gauge_set("switch.out_bytes", dst.0, ctx.now(), b as i64)
+                });
+            }
             lost |= timing.dropped;
             if let Some(train) = train {
                 if !timing.dropped {

@@ -1,0 +1,192 @@
+//! Chrome `trace_event` JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Serializes a [`Tracer`]'s spans and a [`MetricsRegistry`]'s gauge series
+//! into the [Trace Event Format]: every actor becomes a named thread track
+//! of complete (`"ph":"X"`) events, every gauge becomes a counter
+//! (`"ph":"C"`) track. Span parent links and causal ids ride in `args`, so
+//! one message's journey can be followed across thread tracks by its
+//! `causal` value.
+//!
+//! The encoder is hand-rolled (the workspace deliberately has no serde) and
+//! fully deterministic: timestamps are emitted as exact decimal microseconds
+//! derived from integer picoseconds — no floating point — so a fixed-seed
+//! run exports byte-identical JSON, which the golden-trace test pins down.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::metrics::MetricsRegistry;
+use crate::time::SimTime;
+use crate::trace::Tracer;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exact decimal microseconds from picoseconds (no floating point, so the
+/// output is bit-stable): `1_234_567 ps` → `"1.234567"`.
+fn us(ps: u64) -> String {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    if frac == 0 {
+        format!("{whole}")
+    } else {
+        let s = format!("{whole}.{frac:06}");
+        s.trim_end_matches('0').to_string()
+    }
+}
+
+fn ts(t: SimTime) -> String {
+    us(t.since(SimTime::ZERO).as_ps())
+}
+
+/// Renders the tracer + metrics state as a Chrome trace_event JSON document.
+///
+/// Load the result in [Perfetto](https://ui.perfetto.dev) (drag-and-drop) or
+/// `chrome://tracing`. Thread tracks carry the actor names; counter tracks
+/// carry gauge series; span `args` carry `causal` (message id) and `parent`
+/// (enclosing span index) when set.
+pub fn chrome_trace_json(tr: &Tracer, metrics: &MetricsRegistry) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    // Process + thread naming metadata. One pid (the sim); one tid per actor.
+    ev.push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"ncs-sim\"}}"
+            .to_string(),
+    );
+    for (i, name) in tr.actors().iter().enumerate() {
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{i}}}}}"
+        ));
+    }
+    // Spans as complete events. Zero-length (never-closed) spans are skipped.
+    for (idx, s) in tr.spans().iter().enumerate() {
+        if s.t1 <= s.t0 {
+            continue;
+        }
+        let mut args = String::new();
+        if s.causal != 0 {
+            args.push_str(&format!("\"causal\":{}", s.causal));
+        }
+        if let Some(p) = s.parent {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            args.push_str(&format!("\"parent\":{}", p.index()));
+        }
+        if !args.is_empty() {
+            args.push(',');
+        }
+        args.push_str(&format!("\"span\":{idx}"));
+        ev.push(format!(
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\
+             \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+            s.actor.index(),
+            esc(s.label),
+            s.kind.name(),
+            ts(s.t0),
+            us(s.t1.since(s.t0).as_ps()),
+        ));
+    }
+    // Gauge series as counter tracks.
+    for ((name, idx), series) in metrics.gauges() {
+        for &(t, v) in series.samples() {
+            ev.push(format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"{}[{idx}]\",\"ts\":{},\
+                 \"args\":{{\"value\":{v}}}}}",
+                esc(name),
+                ts(t),
+            ));
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in ev.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 != ev.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+    use crate::trace::SpanKind;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + Dur::from_micros(us)
+    }
+
+    #[test]
+    fn microsecond_encoding_is_exact() {
+        assert_eq!(us(0), "0");
+        assert_eq!(us(1_000_000), "1");
+        assert_eq!(us(1_234_567), "1.234567");
+        assert_eq!(us(1_500_000), "1.5");
+        assert_eq!(us(800), "0.0008");
+    }
+
+    #[test]
+    fn export_contains_spans_counters_and_metadata() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        let a = tr.intern("n0/t0");
+        let root = tr.open_span(a, SpanKind::Comm, "send", t(0), 5).unwrap();
+        tr.span_full(a, SpanKind::Comm, "wire", t(1), t(2), Some(root), 5);
+        tr.close_span(root, t(3));
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("depth", 2, t(1), 4);
+        let json = chrome_trace_json(&tr, &m);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"send\""));
+        assert!(json.contains("\"causal\":5"));
+        assert!(json.contains("\"parent\":0"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("depth[2]"));
+        // Balanced top-level document.
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let mut tr = Tracer::new();
+            tr.enable();
+            let a = tr.intern("n1/send");
+            tr.span_on(a, SpanKind::Overhead, "ctx-switch", t(2), t(4));
+            let mut m = MetricsRegistry::new();
+            m.gauge_set("q", 0, t(2), 1);
+            chrome_trace_json(&tr, &m)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+    }
+}

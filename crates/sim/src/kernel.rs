@@ -28,6 +28,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::analysis::AnalysisConfig;
+use crate::metrics::MetricsRegistry;
 use crate::time::{Dur, SimTime};
 use crate::trace::Tracer;
 
@@ -218,6 +219,7 @@ struct Inner {
     threads: Mutex<Vec<ThreadSlot>>,
     gate: KernelGate,
     tracer: Mutex<Tracer>,
+    metrics: Mutex<MetricsRegistry>,
     panics: Mutex<Vec<String>>,
     running: AtomicBool,
     finished: AtomicBool,
@@ -266,6 +268,7 @@ impl Sim {
                 threads: Mutex::new(Vec::new()),
                 gate: KernelGate::new(),
                 tracer: Mutex::new(Tracer::new()),
+                metrics: Mutex::new(MetricsRegistry::new()),
                 panics: Mutex::new(Vec::new()),
                 running: AtomicBool::new(false),
                 finished: AtomicBool::new(false),
@@ -303,6 +306,13 @@ impl Sim {
     /// Access to the span/event tracer (used by the timeline figures).
     pub fn with_tracer<R>(&self, f: impl FnOnce(&mut Tracer) -> R) -> R {
         f(&mut self.inner.tracer.lock())
+    }
+
+    /// Access to the metrics registry (counters, gauges, latency stats,
+    /// per-message causal timelines). Always on; see
+    /// [`MetricsRegistry`](crate::MetricsRegistry).
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.inner.metrics.lock())
     }
 
     fn next_seq(&self) -> u64 {

@@ -13,7 +13,11 @@
 //!   under a strict baton-passing protocol (at most one runnable activity);
 //! * [`FifoResource`] — counted FIFO resources (buses, links, buffer pools);
 //! * [`SimChannel`] — blocking queues between simulated activities;
-//! * [`Tracer`] — span recording for the paper's timeline figures;
+//! * [`Tracer`] — span recording (interned actors, parent links, causal
+//!   ids) for the paper's timeline figures and Chrome-trace export;
+//! * [`MetricsRegistry`] — always-on counters, gauges, log-bucketed
+//!   latency histograms, and per-message causal timelines;
+//! * [`chrome`] — Perfetto-loadable `trace_event` JSON export;
 //! * [`SimRng`] — seeded, splittable randomness;
 //! * [`analysis`] — runtime-analysis primitives (violation sink,
 //!   wait-for-graph cycle detection) shared by the layers above.
@@ -34,7 +38,9 @@
 
 pub mod analysis;
 mod channel;
+pub mod chrome;
 mod kernel;
+mod metrics;
 mod resource;
 mod rng;
 mod stats;
@@ -43,9 +49,11 @@ mod trace;
 
 pub use analysis::{AnalysisConfig, InvariantSink, Violation, WaitGraph};
 pub use channel::{Closed, SimChannel};
+pub use chrome::chrome_trace_json;
 pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId};
+pub use metrics::{DurStat, GaugeSeries, MetricsRegistry, Timeline};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use stats::{DurHistogram, DurSummary};
 pub use time::{Dur, SimTime};
-pub use trace::{Span, SpanKind, Tracer};
+pub use trace::{ActorId, Span, SpanId, SpanKind, Tracer};

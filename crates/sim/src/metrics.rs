@@ -1,0 +1,353 @@
+//! Structured runtime metrics: counters, gauges, duration statistics, and
+//! per-message causal timelines.
+//!
+//! [`MetricsRegistry`] is the always-on companion to the span
+//! [`crate::trace::Tracer`]: where spans reconstruct *timelines*, the
+//! registry aggregates *quantities* — how many, how deep, how long. It is
+//! cheap enough to stay enabled by default (a `BTreeMap` probe keyed by
+//! `&'static str` per update, no allocation on the hot path), so every run
+//! can answer "where did the time go" without a special build.
+//!
+//! Four families:
+//!
+//! - **Counters** (`inc`): monotonic event counts (`"mps.msgs"`).
+//! - **Gauges** (`gauge_set`): sampled instantaneous values with the sim
+//!   time of each change (`("switch.out_cells", node)`), exportable as
+//!   Chrome-trace counter tracks.
+//! - **Duration stats** (`observe`): a streaming [`DurSummary`] plus a
+//!   log-bucketed [`DurHistogram`] per name, reporting
+//!   count/mean/p50/p95/p99/max.
+//! - **Timelines** (`next_causal` / `mark` / `timeline`): per-message causal
+//!   records. A producer allocates a causal id, then every layer the message
+//!   crosses marks a named stage with the current sim time. Consecutive
+//!   stages decompose end-to-end latency into contiguous, non-overlapping
+//!   components (the paper's send/recv overhead breakdown).
+//!
+//! Cross-process correlation: a message's causal id is known to the sending
+//! process but does not ride on the wire (the transport tag is fully
+//! packed). Because all processes share one [`crate::Sim`] — and hence one
+//! registry — the sender [`MetricsRegistry::bind_wire`]s the id under the
+//! `(dst, tag, depart-time)` triple its transport stamps on the delivery,
+//! and the receiver [`MetricsRegistry::resolve_wire`]s the same triple on
+//! pickup. This is observer bookkeeping, not simulated shared memory: it
+//! never influences protocol behaviour.
+
+use std::collections::BTreeMap;
+
+use crate::stats::{DurHistogram, DurSummary};
+use crate::time::{Dur, SimTime};
+
+/// A gauge's sample history: the value is `samples.last()` until the next
+/// change; only changes are stored.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeSeries {
+    samples: Vec<(SimTime, i64)>,
+}
+
+impl GaugeSeries {
+    /// All recorded `(time, value)` change points, in record order.
+    pub fn samples(&self) -> &[(SimTime, i64)] {
+        &self.samples
+    }
+
+    /// The most recent value (None if never set).
+    pub fn last(&self) -> Option<i64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// The largest value ever recorded.
+    pub fn max(&self) -> Option<i64> {
+        self.samples.iter().map(|&(_, v)| v).max()
+    }
+}
+
+/// Streaming summary plus histogram for one named duration series.
+#[derive(Clone, Debug, Default)]
+pub struct DurStat {
+    summary: DurSummary,
+    hist: DurHistogram,
+}
+
+impl DurStat {
+    /// The streaming count/min/max/mean summary.
+    pub fn summary(&self) -> &DurSummary {
+        &self.summary
+    }
+
+    /// The log-bucketed histogram (conservative p50/p95/p99 upper bounds).
+    pub fn hist(&self) -> &DurHistogram {
+        &self.hist
+    }
+
+    /// One-line report: `n=.. mean=.. p50<=.. p95<=.. p99<=.. max=..`.
+    pub fn report(&self) -> String {
+        self.hist.report()
+    }
+}
+
+/// One message's causal timeline: named stage boundaries in record order.
+pub type Timeline = Vec<(&'static str, SimTime)>;
+
+/// The registry. One per [`crate::Sim`], reached via `Sim::with_metrics`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<(&'static str, u32), GaugeSeries>,
+    stats: BTreeMap<&'static str, DurStat>,
+    next_causal: u64,
+    timelines: BTreeMap<u64, Timeline>,
+    wire_keys: BTreeMap<(u64, u64, u64), u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn inc(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Records gauge `(name, idx)` at value `v` as of time `t`. Consecutive
+    /// identical values are coalesced, so an unchanged gauge costs one map
+    /// probe and no storage.
+    pub fn gauge_set(&mut self, name: &'static str, idx: u32, t: SimTime, v: i64) {
+        let series = self.gauges.entry((name, idx)).or_default();
+        if series.samples.last().map(|&(_, last)| last) != Some(v) {
+            series.samples.push((t, v));
+        }
+    }
+
+    /// Reads one gauge series.
+    pub fn gauge(&self, name: &str, idx: u32) -> Option<&GaugeSeries> {
+        self.gauges
+            .iter()
+            .find(|(&(n, i), _)| n == name && i == idx)
+            .map(|(_, g)| g)
+    }
+
+    /// All gauge series, sorted by `(name, idx)`.
+    pub fn gauges(&self) -> impl Iterator<Item = ((&'static str, u32), &GaugeSeries)> {
+        self.gauges.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Adds one duration observation to the named stat.
+    pub fn observe(&mut self, name: &'static str, d: Dur) {
+        let s = self.stats.entry(name).or_default();
+        s.summary.record(d);
+        s.hist.record(d);
+    }
+
+    /// Reads one duration stat.
+    pub fn stat(&self, name: &str) -> Option<&DurStat> {
+        self.stats.get(name)
+    }
+
+    /// All duration stats, sorted by name.
+    pub fn stats(&self) -> impl Iterator<Item = (&'static str, &DurStat)> {
+        self.stats.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Allocates a fresh causal id (never 0; 0 means "untracked").
+    pub fn next_causal(&mut self) -> u64 {
+        self.next_causal += 1;
+        self.next_causal
+    }
+
+    /// Marks stage `stage` of message `causal` at time `t`. Re-marking a
+    /// stage overwrites it (for chunked transfers, the last chunk's
+    /// boundary is the message's). `causal == 0` is ignored.
+    pub fn mark(&mut self, causal: u64, stage: &'static str, t: SimTime) {
+        if causal == 0 {
+            return;
+        }
+        let tl = self.timelines.entry(causal).or_default();
+        match tl.iter_mut().find(|(s, _)| *s == stage) {
+            Some(slot) => slot.1 = t,
+            None => tl.push((stage, t)),
+        }
+    }
+
+    /// Reads one message's timeline.
+    pub fn timeline(&self, causal: u64) -> Option<&Timeline> {
+        self.timelines.get(&causal)
+    }
+
+    /// All timelines, sorted by causal id.
+    pub fn timelines(&self) -> impl Iterator<Item = (u64, &Timeline)> {
+        self.timelines.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Associates a wire-level key (conventionally `(dst-node, transport
+    /// tag, depart-time ps)`) with a causal id, for the receiving process
+    /// to claim on pickup.
+    pub fn bind_wire(&mut self, key: (u64, u64, u64), causal: u64) {
+        self.wire_keys.insert(key, causal);
+    }
+
+    /// Claims (removes) the causal id bound to a wire key, if any.
+    pub fn resolve_wire(&mut self, key: (u64, u64, u64)) -> Option<u64> {
+        self.wire_keys.remove(&key)
+    }
+
+    /// Checks every timeline against an expected stage order: marked stages
+    /// must appear as a subsequence of `order` with non-decreasing times.
+    /// Returns one description per violating timeline (empty = all clean).
+    /// Used by the analysis smoke driver to catch instrumentation drift.
+    pub fn validate_timelines(&self, order: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (&causal, tl) in &self.timelines {
+            let mut cursor = 0usize;
+            let mut prev: Option<(&str, SimTime)> = None;
+            for &(stage, t) in tl {
+                let pos = order[cursor..].iter().position(|&s| s == stage);
+                match pos {
+                    Some(p) => cursor += p + 1,
+                    None => {
+                        out.push(format!(
+                            "causal {causal}: stage {stage:?} out of order (expected one of {:?})",
+                            &order[cursor..]
+                        ));
+                        break;
+                    }
+                }
+                if let Some((ps, pt)) = prev {
+                    if t < pt {
+                        out.push(format!(
+                            "causal {causal}: stage {stage:?} at {t} precedes {ps:?} at {pt}"
+                        ));
+                        break;
+                    }
+                }
+                prev = Some((stage, t));
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary: counters, gauge peaks, and stat reports.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            s.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                s.push_str(&format!("  {k:<28} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges (peak):\n");
+            for (&(name, idx), g) in &self.gauges {
+                s.push_str(&format!(
+                    "  {:<28} {}\n",
+                    format!("{name}[{idx}]"),
+                    g.max().unwrap_or(0)
+                ));
+            }
+        }
+        if !self.stats.is_empty() {
+            s.push_str("durations:\n");
+            for (k, v) in &self.stats {
+                s.push_str(&format!("  {k:<28} {}\n", v.report()));
+            }
+        }
+        s
+    }
+
+    /// Clears everything (counters, gauges, stats, timelines, keys).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.stats.clear();
+        self.timelines.clear();
+        self.wire_keys.clear();
+        self.next_causal = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + Dur::from_micros(us)
+    }
+
+    #[test]
+    fn counters_and_stats_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("msgs", 2);
+        m.inc("msgs", 3);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        m.observe("lat", Dur::from_micros(10));
+        m.observe("lat", Dur::from_micros(30));
+        let s = m.stat("lat").unwrap();
+        assert_eq!(s.summary().count(), 2);
+        assert_eq!(s.summary().mean(), Some(Dur::from_micros(20)));
+        assert!(s.report().contains("p99<="));
+    }
+
+    #[test]
+    fn gauge_coalesces_unchanged_values() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("depth", 1, t(0), 4);
+        m.gauge_set("depth", 1, t(5), 4);
+        m.gauge_set("depth", 1, t(9), 7);
+        let g = m.gauge("depth", 1).unwrap();
+        assert_eq!(g.samples().len(), 2);
+        assert_eq!(g.last(), Some(7));
+        assert_eq!(g.max(), Some(7));
+    }
+
+    #[test]
+    fn timeline_marks_overwrite_stages() {
+        let mut m = MetricsRegistry::new();
+        let c = m.next_causal();
+        assert_eq!(c, 1);
+        m.mark(c, "a", t(1));
+        m.mark(c, "b", t(2));
+        m.mark(c, "b", t(4));
+        assert_eq!(m.timeline(c).unwrap().as_slice(), &[("a", t(1)), ("b", t(4))]);
+        m.mark(0, "ignored", t(9));
+        assert_eq!(m.timelines().count(), 1);
+    }
+
+    #[test]
+    fn wire_keys_resolve_once() {
+        let mut m = MetricsRegistry::new();
+        m.bind_wire((1, 2, 3), 7);
+        assert_eq!(m.resolve_wire((1, 2, 3)), Some(7));
+        assert_eq!(m.resolve_wire((1, 2, 3)), None);
+    }
+
+    #[test]
+    fn timeline_validation_flags_disorder() {
+        let mut m = MetricsRegistry::new();
+        let a = m.next_causal();
+        m.mark(a, "x", t(1));
+        m.mark(a, "y", t(2));
+        assert!(m.validate_timelines(&["x", "y", "z"]).is_empty());
+        let b = m.next_causal();
+        m.mark(b, "y", t(3));
+        m.mark(b, "x", t(4));
+        let v = m.validate_timelines(&["x", "y"]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("out of order"));
+        let c = m.next_causal();
+        m.mark(c, "x", t(9));
+        m.mark(c, "y", t(4));
+        assert_eq!(m.validate_timelines(&["x", "y"]).len(), 2);
+    }
+}

@@ -123,16 +123,18 @@ impl DurHistogram {
         self.summary.max()
     }
 
-    /// Renders a compact one-line report: `n=.. mean=.. p50<=.. p95<=.. max=..`.
+    /// Renders a compact one-line report:
+    /// `n=.. mean=.. p50<=.. p95<=.. p99<=.. max=..`.
     pub fn report(&self) -> String {
         match self.summary.count() {
             0 => "n=0".to_string(),
             n => format!(
-                "n={} mean={} p50<={} p95<={} max={}",
+                "n={} mean={} p50<={} p95<={} p99<={} max={}",
                 n,
                 self.summary.mean().unwrap(),
                 self.quantile(0.5).unwrap(),
                 self.quantile(0.95).unwrap(),
+                self.quantile(0.99).unwrap(),
                 self.summary.max().unwrap(),
             ),
         }

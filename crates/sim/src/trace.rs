@@ -2,8 +2,22 @@
 //!
 //! The paper's Figures 4 and 16 show per-thread compute / communication /
 //! idle timelines with and without multithreading. Runtime components record
-//! [`Span`]s here; the bench harness renders them as ASCII Gantt charts and
-//! computes per-actor utilization.
+//! [`Span`]s here; the bench harness renders them as ASCII Gantt charts,
+//! computes per-actor utilization, and exports Chrome `trace_event` JSON
+//! (see [`crate::chrome`]).
+//!
+//! Recording is allocation-free on the hot path: actor names are interned
+//! once into small [`ActorId`]s (components intern at construction and
+//! record with [`Tracer::span_on`]), and labels are `&'static str`. Spans
+//! optionally carry a parent link ([`SpanId`]) and a per-message causal id,
+//! so one `NCS_send` decomposes into its queue-wait / segmentation / wire /
+//! reassembly / wakeup children across threads and processes.
+//!
+//! Two recording levels: [`Tracer::enable`] turns on application-level spans
+//! (compute, send, recv — the timeline figures); [`Tracer::enable_detail`]
+//! additionally records high-rate scheduler timelines (per-thread run /
+//! runnable / blocked transitions from the MTS runtime), which the
+//! observability harness exports but the standard figures omit.
 
 use std::collections::BTreeMap;
 
@@ -20,6 +34,8 @@ pub enum SpanKind {
     Idle,
     /// Runtime bookkeeping (context switches, queue management).
     Overhead,
+    /// Runnable but not dispatched (waiting for the CPU; detail level).
+    Runnable,
 }
 
 impl SpanKind {
@@ -30,23 +46,61 @@ impl SpanKind {
             SpanKind::Comm => '~',
             SpanKind::Idle => '.',
             SpanKind::Overhead => 'o',
+            SpanKind::Runnable => '+',
         }
+    }
+
+    /// Short category name (Chrome-trace `cat` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Comm => "comm",
+            SpanKind::Idle => "idle",
+            SpanKind::Overhead => "overhead",
+            SpanKind::Runnable => "runnable",
+        }
+    }
+}
+
+/// An interned actor name (conventionally `"<node>/<thread>"`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// Dense index of this actor in [`Tracer::actors`] order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a recorded span (index into [`Tracer::spans`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// Dense index of this span in [`Tracer::spans`] order.
+    pub fn index(self) -> usize {
+        self.0 as usize
     }
 }
 
 /// A closed interval of activity by one actor.
 #[derive(Clone, Debug)]
 pub struct Span {
-    /// Actor name, conventionally `"<node>/<thread>"`.
-    pub actor: String,
+    /// Who (interned; resolve via [`Tracer::actor_name`]).
+    pub actor: ActorId,
     /// Activity class.
     pub kind: SpanKind,
-    /// Free-form label (message tag, phase name).
-    pub label: String,
+    /// Static label (phase name, component name).
+    pub label: &'static str,
     /// Start instant.
     pub t0: SimTime,
     /// End instant.
     pub t1: SimTime,
+    /// Enclosing span, when recorded as a child.
+    pub parent: Option<SpanId>,
+    /// Per-message causal id linking spans across threads (0 = none).
+    pub causal: u64,
 }
 
 /// Collected spans plus named counters.
@@ -54,18 +108,17 @@ pub struct Span {
 pub struct Tracer {
     spans: Vec<Span>,
     counters: BTreeMap<String, u64>,
+    actors: Vec<String>,
+    actor_ids: BTreeMap<String, u32>,
     enabled: bool,
+    detail: bool,
 }
 
 impl Tracer {
     /// Creates a tracer. Span recording starts disabled (counters always
     /// work); call [`Tracer::enable`] when reconstructing timelines.
     pub fn new() -> Tracer {
-        Tracer {
-            spans: Vec::new(),
-            counters: BTreeMap::new(),
-            enabled: false,
-        }
+        Tracer::default()
     }
 
     /// Enables span recording.
@@ -73,22 +126,139 @@ impl Tracer {
         self.enabled = true;
     }
 
+    /// Enables span recording *including* high-rate scheduler detail
+    /// (run/runnable transitions recorded via [`Tracer::detail_enabled`]
+    /// guards in the MTS runtime).
+    pub fn enable_detail(&mut self) {
+        self.enabled = true;
+        self.detail = true;
+    }
+
     /// Whether span recording is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
-    /// Records a span if recording is enabled and the span is non-empty.
-    pub fn span(&mut self, actor: &str, kind: SpanKind, label: &str, t0: SimTime, t1: SimTime) {
-        if self.enabled && t1 > t0 {
-            self.spans.push(Span {
-                actor: actor.to_string(),
-                kind,
-                label: label.to_string(),
-                t0,
-                t1,
-            });
+    /// Whether scheduler-detail spans should be recorded.
+    pub fn detail_enabled(&self) -> bool {
+        self.enabled && self.detail
+    }
+
+    /// Interns an actor name, returning a stable id. Idempotent; ids are
+    /// assigned in first-intern order (deterministic under the sim).
+    pub fn intern(&mut self, name: &str) -> ActorId {
+        if let Some(&id) = self.actor_ids.get(name) {
+            return ActorId(id);
         }
+        let id = u32::try_from(self.actors.len()).expect("actor intern overflow");
+        self.actors.push(name.to_string());
+        self.actor_ids.insert(name.to_string(), id);
+        ActorId(id)
+    }
+
+    /// Resolves an interned actor id back to its name.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.actors[id.index()]
+    }
+
+    /// All interned actor names, in id order.
+    pub fn actors(&self) -> &[String] {
+        &self.actors
+    }
+
+    /// Records a span by actor name (interning it) if recording is enabled
+    /// and the span is non-empty. Hot paths should intern once and use
+    /// [`Tracer::span_on`] instead.
+    pub fn span(&mut self, actor: &str, kind: SpanKind, label: &'static str, t0: SimTime, t1: SimTime) {
+        if self.enabled && t1 > t0 {
+            let actor = self.intern(actor);
+            self.push(actor, kind, label, t0, t1, None, 0);
+        }
+    }
+
+    /// Records a span on a pre-interned actor. Allocation-free.
+    pub fn span_on(
+        &mut self,
+        actor: ActorId,
+        kind: SpanKind,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+    ) -> Option<SpanId> {
+        if self.enabled && t1 > t0 {
+            Some(self.push(actor, kind, label, t0, t1, None, 0))
+        } else {
+            None
+        }
+    }
+
+    /// Records a span with an explicit parent link and causal id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_full(
+        &mut self,
+        actor: ActorId,
+        kind: SpanKind,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+        parent: Option<SpanId>,
+        causal: u64,
+    ) -> Option<SpanId> {
+        if self.enabled && t1 > t0 {
+            Some(self.push(actor, kind, label, t0, t1, parent, causal))
+        } else {
+            None
+        }
+    }
+
+    /// Opens a span at `t0` whose end is not yet known, returning its id so
+    /// children can link to it before it closes. Close with
+    /// [`Tracer::close_span`]; an unclosed span stays zero-length and is
+    /// ignored by the timeline renderers.
+    pub fn open_span(
+        &mut self,
+        actor: ActorId,
+        kind: SpanKind,
+        label: &'static str,
+        t0: SimTime,
+        causal: u64,
+    ) -> Option<SpanId> {
+        if self.enabled {
+            Some(self.push(actor, kind, label, t0, t0, None, causal))
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span previously opened with [`Tracer::open_span`].
+    pub fn close_span(&mut self, id: SpanId, t1: SimTime) {
+        let s = &mut self.spans[id.0 as usize];
+        debug_assert!(t1 >= s.t0, "span closed before it opened");
+        s.t1 = t1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        actor: ActorId,
+        kind: SpanKind,
+        label: &'static str,
+        t0: SimTime,
+        t1: SimTime,
+        parent: Option<SpanId>,
+        causal: u64,
+    ) -> SpanId {
+        let id = SpanId(u32::try_from(self.spans.len()).expect("span count overflow"));
+        self.spans.push(Span {
+            actor,
+            kind,
+            label,
+            t0,
+            t1,
+            parent,
+            causal,
+        });
+        id
     }
 
     /// Adds to a named counter (always recorded).
@@ -114,9 +284,9 @@ impl Tracer {
     /// Total time each actor spent in each kind, over `[t_begin, t_end]`.
     pub fn utilization(&self) -> BTreeMap<String, BTreeMap<SpanKind, Dur>> {
         let mut out: BTreeMap<String, BTreeMap<SpanKind, Dur>> = BTreeMap::new();
-        for s in &self.spans {
+        for s in self.spans.iter().filter(|s| s.t1 > s.t0) {
             let e = out
-                .entry(s.actor.clone())
+                .entry(self.actor_name(s.actor).to_string())
                 .or_default()
                 .entry(s.kind)
                 .or_insert(Dur::ZERO);
@@ -130,13 +300,14 @@ impl Tracer {
     /// spaces.
     pub fn render_gantt(&self, width: usize) -> String {
         assert!(width >= 10, "gantt width too small");
-        if self.spans.is_empty() {
+        let drawn: Vec<&Span> = self.spans.iter().filter(|s| s.t1 > s.t0).collect();
+        if drawn.is_empty() {
             return String::from("(no spans recorded)\n");
         }
-        let t0 = self.spans.iter().map(|s| s.t0).min().unwrap();
-        let t1 = self.spans.iter().map(|s| s.t1).max().unwrap();
+        let t0 = drawn.iter().map(|s| s.t0).min().unwrap();
+        let t1 = drawn.iter().map(|s| s.t1).max().unwrap();
         let total = t1.since(t0).as_ps().max(1);
-        let mut actors: Vec<&str> = self.spans.iter().map(|s| s.actor.as_str()).collect();
+        let mut actors: Vec<&str> = drawn.iter().map(|s| self.actor_name(s.actor)).collect();
         actors.sort_unstable();
         actors.dedup();
         let name_w = actors.iter().map(|a| a.len()).max().unwrap_or(0).max(8);
@@ -150,7 +321,7 @@ impl Tracer {
         ));
         for actor in actors {
             let mut row = vec![' '; width];
-            for s in self.spans.iter().filter(|s| s.actor == actor) {
+            for s in drawn.iter().filter(|s| self.actor_name(s.actor) == actor) {
                 let b0 =
                     ((s.t0.since(t0).as_ps() as u128 * width as u128) / total as u128) as usize;
                 let b1 =
@@ -166,11 +337,11 @@ impl Tracer {
                 row.into_iter().collect::<String>()
             ));
         }
-        out.push_str("legend: # compute   ~ comm   . idle   o overhead\n");
+        out.push_str("legend: # compute   ~ comm   . idle   o overhead   + runnable\n");
         out
     }
 
-    /// Clears spans and counters.
+    /// Clears spans and counters (interned actors stay valid).
     pub fn clear(&mut self) {
         self.spans.clear();
         self.counters.clear();
@@ -210,6 +381,57 @@ mod tests {
         tr.count("cells", 4);
         assert_eq!(tr.counter("cells"), 7);
         assert_eq!(tr.counter("missing"), 0);
+    }
+
+    #[test]
+    fn interning_is_stable_and_idempotent() {
+        let mut tr = Tracer::new();
+        let a = tr.intern("n0/t0");
+        let b = tr.intern("n0/t1");
+        assert_eq!(tr.intern("n0/t0"), a);
+        assert_ne!(a, b);
+        assert_eq!(tr.actor_name(a), "n0/t0");
+        assert_eq!(tr.actors(), &["n0/t0".to_string(), "n0/t1".to_string()]);
+    }
+
+    #[test]
+    fn span_on_records_without_interning_again() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        let a = tr.intern("n0/t0");
+        let id = tr.span_on(a, SpanKind::Comm, "send", t(1), t(4)).unwrap();
+        assert_eq!(tr.spans()[0].actor, a);
+        let child = tr
+            .span_full(a, SpanKind::Comm, "wire", t(2), t(3), Some(id), 42)
+            .unwrap();
+        assert_eq!(tr.spans()[child.0 as usize].parent, Some(id));
+        assert_eq!(tr.spans()[child.0 as usize].causal, 42);
+    }
+
+    #[test]
+    fn open_close_span_brackets_children() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        let a = tr.intern("n0/send");
+        let root = tr.open_span(a, SpanKind::Comm, "send", t(0), 7).unwrap();
+        tr.span_full(a, SpanKind::Comm, "queue-wait", t(0), t(2), Some(root), 7);
+        tr.close_span(root, t(5));
+        let spans = tr.spans();
+        assert_eq!(spans[0].t1, t(5));
+        assert_eq!(spans[1].parent, Some(root));
+        // Disabled tracer: open_span returns None, close is never reached.
+        let mut off = Tracer::new();
+        let a = off.intern("x");
+        assert!(off.open_span(a, SpanKind::Comm, "send", t(0), 0).is_none());
+    }
+
+    #[test]
+    fn detail_level_gates_scheduler_spans() {
+        let mut tr = Tracer::new();
+        tr.enable();
+        assert!(!tr.detail_enabled());
+        tr.enable_detail();
+        assert!(tr.detail_enabled());
     }
 
     #[test]

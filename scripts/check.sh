@@ -20,6 +20,9 @@ cargo run --release -p ncs-analysis -- all
 echo "== pipelined data path smoke (as CI) =="
 cargo run --release -p ncs-bench --bin xp_pipeline -- --smoke
 
+echo "== observability smoke: golden-trace determinism (as CI) =="
+cargo run --release -p ncs-bench --bin xp_observe -- --smoke
+
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test
 
