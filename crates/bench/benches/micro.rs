@@ -6,6 +6,8 @@
 //!   block/unblock round trips (the paper's single-node threading
 //!   overhead);
 //! * application kernels: 8×8 DCT, JPEG block codec, FFT, matmul;
+//! * the event kernel's schedule/pop path: timer wheel vs the
+//!   `BinaryHeap` + boxed-closure design it replaced;
 //! * a whole simulated NCS ping-pong (end-to-end simulator throughput).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -163,6 +165,71 @@ fn bench_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_event_kernel(c: &mut Criterion) {
+    use ncs_sim::wheel::TimerWheel;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut g = c.benchmark_group("event-kernel");
+    // One schedule/pop round trip at a realistic standing queue depth:
+    // the timer wheel the kernel runs on, against the BinaryHeap +
+    // boxed-closure design it replaced (X10's micro comparison).
+    const DEPTH: usize = 4096;
+    const OPS: u64 = 1024;
+    let offsets: Vec<u64> = {
+        let mut rng = SimRng::new(42);
+        (0..DEPTH as u64 + OPS)
+            .map(|_| rng.gen_range(1 << 20))
+            .collect()
+    };
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("wheel-schedule-pop", |b| {
+        b.iter_batched(
+            || {
+                let mut w: TimerWheel<u64> = TimerWheel::new();
+                for (seq, &dt) in offsets[..DEPTH].iter().enumerate() {
+                    w.push(dt, seq as u64, dt);
+                }
+                w
+            },
+            |mut w| {
+                let mut now = 0u64;
+                for (seq, &dt) in offsets[DEPTH..].iter().enumerate() {
+                    let (t, _, v) = w.pop().expect("non-empty");
+                    now = now.max(t);
+                    black_box(v);
+                    w.push(now + dt, (DEPTH + seq) as u64, dt);
+                }
+                w
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("heap-box-schedule-pop", |b| {
+        type Ent = (Reverse<(u64, u64)>, Box<u64>);
+        b.iter_batched(
+            || {
+                let mut h: BinaryHeap<Ent> = BinaryHeap::new();
+                for (seq, &dt) in offsets[..DEPTH].iter().enumerate() {
+                    h.push((Reverse((dt, seq as u64)), Box::new(dt)));
+                }
+                h
+            },
+            |mut h| {
+                let mut now = 0u64;
+                for (seq, &dt) in offsets[DEPTH..].iter().enumerate() {
+                    let (Reverse((t, _)), v) = h.pop().expect("non-empty");
+                    now = now.max(t);
+                    black_box(*v);
+                    h.push((Reverse((now + dt, (DEPTH + seq) as u64)), Box::new(dt)));
+                }
+                h
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_sim_ping_pong(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-end-to-end");
     g.sample_size(20);
@@ -262,6 +329,7 @@ criterion_group!(
     bench_huffman,
     bench_fabrics,
     bench_tracing,
+    bench_event_kernel,
     bench_sim_ping_pong
 );
 criterion_main!(benches);

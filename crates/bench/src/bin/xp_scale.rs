@@ -1,0 +1,311 @@
+//! Extension experiment **X10**: event-kernel scaling.
+//!
+//! Two questions about the timer-wheel kernel rewrite:
+//!
+//! 1. **Micro** — what does one schedule/pop round trip cost on the
+//!    timer wheel (pooled records, O(1) bucket insert) versus the old
+//!    `BinaryHeap` + boxed-closure design it replaced? Measured here
+//!    in-process over the same operation sequence; the wheel must be at
+//!    or better than the heap baseline recorded in the same file.
+//! 2. **Macro** — how does the full ATM stack scale from 16 to 256
+//!    hosts under a collective-heavy workload (gather + broadcast
+//!    rounds of small messages, the per-message-overhead regime where
+//!    the paper's NCS wins)? Reports simulator throughput (events/sec,
+//!    ns/event of wall time) and the kernel's peak queue depth, sampled
+//!    into the `kernel.queue_depth` gauge.
+//!
+//! Writes `results/BENCH_kernel.json`.
+//!
+//! ```text
+//! cargo run --release -p ncs-bench --bin xp_scale [-- --smoke]
+//! ```
+
+use bytes::Bytes;
+use ncs_core::{NcsConfig, NcsWorld, ThreadAddr};
+use ncs_net::atm::{AtmLanFabric, AtmLanParams};
+use ncs_net::{AtmApiNet, AtmApiParams, HostParams, Network};
+use ncs_sim::wheel::TimerWheel;
+use ncs_sim::{Dur, Sim, SimRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+use std::sync::Arc;
+// Wall-clock reads below measure the *simulator's* real execution speed
+// (events per host second); they never touch virtual time.
+use std::time::Instant; // ncs-lint: allow(wall-clock)
+
+/// Bytes per collective message: small enough that per-message software
+/// overhead, not wire time, dominates — the regime the kernel rewrite
+/// targets.
+const MSG_BYTES: usize = 512;
+
+/// Events in the micro schedule/pop comparison.
+const MICRO_EVENTS: usize = 200_000;
+/// Pending events held during the micro steady-state phase.
+const MICRO_DEPTH: usize = 8_192;
+
+fn hsm_stack(nodes: usize) -> Arc<dyn Network> {
+    let fabric = Arc::new(AtmLanFabric::new(AtmLanParams::fore_lan(nodes)));
+    let hosts = vec![HostParams::sparc_ipx(); nodes];
+    Arc::new(AtmApiNet::new(fabric, hosts, AtmApiParams::default()))
+}
+
+/// The operation sequence both micro candidates replay: a ramp to
+/// `MICRO_DEPTH` pending events, then a steady-state pop-one/push-one
+/// phase (the kernel's actual regime), then a full drain. Times are
+/// pseudo-random offsets spanning many wheel epochs.
+fn micro_schedule(n: usize) -> Vec<u64> {
+    let mut rng = SimRng::new(42);
+    (0..n)
+        .map(|_| match rng.gen_index(4) {
+            0 => 0,
+            1 => rng.gen_range(1 << 14),
+            2 => rng.gen_range(1 << 20),
+            _ => rng.gen_range(1 << 26),
+        })
+        .collect()
+}
+
+/// ns/event on the timer wheel (pooled records, no per-event allocation).
+fn micro_wheel_ns(offsets: &[u64]) -> f64 {
+    let t0 = Instant::now(); // ncs-lint: allow(wall-clock)
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut now = 0u64;
+    let mut sum = 0u64;
+    for (seq, &dt) in offsets.iter().enumerate() {
+        if wheel.len() >= MICRO_DEPTH {
+            let (t, _, v) = wheel.pop().expect("non-empty");
+            now = now.max(t);
+            sum = sum.wrapping_add(v);
+        }
+        wheel.push(now + dt, seq as u64, dt);
+    }
+    while let Some((_, _, v)) = wheel.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    black_box(sum);
+    t0.elapsed().as_secs_f64() * 1e9 / offsets.len() as f64
+}
+
+/// ns/event on the design the wheel replaced: a `BinaryHeap` ordered by
+/// `(time, seq)` whose every entry carries a boxed closure — the old
+/// kernel's `HeapEntry { time, seq, Box<dyn FnOnce> }` shape.
+fn micro_heap_ns(offsets: &[u64]) -> f64 {
+    struct Ent {
+        key: Reverse<(u64, u64)>,
+        f: Box<dyn FnOnce() -> u64 + Send>,
+    }
+    impl PartialEq for Ent {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key
+        }
+    }
+    impl Eq for Ent {}
+    impl PartialOrd for Ent {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ent {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.key.cmp(&other.key)
+        }
+    }
+    let t0 = Instant::now(); // ncs-lint: allow(wall-clock)
+    let mut heap: BinaryHeap<Ent> = BinaryHeap::new();
+    let mut now = 0u64;
+    let mut sum = 0u64;
+    for (seq, &dt) in offsets.iter().enumerate() {
+        if heap.len() >= MICRO_DEPTH {
+            let e = heap.pop().expect("non-empty");
+            now = now.max(e.key.0 .0);
+            sum = sum.wrapping_add((e.f)());
+        }
+        heap.push(Ent {
+            key: Reverse((now + dt, seq as u64)),
+            f: Box::new(move || dt),
+        });
+    }
+    while let Some(e) = heap.pop() {
+        sum = sum.wrapping_add((e.f)());
+    }
+    black_box(sum);
+    t0.elapsed().as_secs_f64() * 1e9 / offsets.len() as f64
+}
+
+/// Self-rearming sampler feeding the `kernel.queue_depth` gauge. Stops
+/// when the queue is otherwise empty (with every other activity parked and
+/// nothing pending, the run is over).
+fn sample_queue_depth(sim: &Sim, every: Dur) {
+    let depth = sim.pending_events();
+    let now = sim.now();
+    sim.with_metrics(|m| m.gauge_set("kernel.queue_depth", 0, now, depth as i64));
+    if depth > 0 {
+        sim.schedule_in(every, move |s| sample_queue_depth(s, every));
+    }
+}
+
+struct ScalePoint {
+    hosts: usize,
+    rounds: u32,
+    events: u64,
+    virtual_s: f64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+    gauge_samples: usize,
+    gauge_peak: i64,
+}
+
+/// The collective: `rounds` iterations of gather-to-root (every worker
+/// sends to proc 0) followed by a root broadcast, all through the full
+/// ATM HSM stack.
+fn run_collective(hosts: usize, rounds: u32) -> ScalePoint {
+    let sim = Sim::new();
+    let net = hsm_stack(hosts);
+    let payload = Bytes::from(vec![0xC3u8; MSG_BYTES]);
+    NcsWorld::launch(
+        &sim,
+        vec![net],
+        hosts,
+        NcsConfig::default(),
+        move |id, proc_| {
+            let payload = payload.clone();
+            let n = hosts;
+            proc_.t_create("w", 5, move |ncs| {
+                for r in 0..rounds {
+                    if id == 0 {
+                        for p in 1..n {
+                            ncs.recv(Some(p), None, Some(r));
+                        }
+                        for p in 1..n {
+                            ncs.send(ThreadAddr::new(p, 0), r, payload.clone());
+                        }
+                    } else {
+                        ncs.send(ThreadAddr::new(0, 0), r, payload.clone());
+                        ncs.recv(Some(0), None, Some(r));
+                    }
+                }
+            });
+        },
+    );
+    sample_queue_depth(&sim, Dur::from_micros(50));
+    let t0 = Instant::now(); // ncs-lint: allow(wall-clock)
+    let out = sim.run();
+    let wall_s = t0.elapsed().as_secs_f64(); // ncs-lint: allow(wall-clock)
+    out.assert_clean();
+    let (gauge_samples, gauge_peak) = sim.with_metrics(|m| {
+        m.gauges()
+            .filter(|((name, _), _)| *name == "kernel.queue_depth")
+            .map(|(_, series)| {
+                let s = series.samples();
+                (
+                    s.len(),
+                    s.iter().map(|&(_, v)| v).max().unwrap_or(0),
+                )
+            })
+            .next()
+            .unwrap_or((0, 0))
+    });
+    let point = ScalePoint {
+        hosts,
+        rounds,
+        events: out.events,
+        virtual_s: out.end_time.as_secs_f64(),
+        wall_s,
+        events_per_sec: out.events as f64 / wall_s,
+        peak_queue_depth: sim.peak_queue_depth(),
+        gauge_samples,
+        gauge_peak,
+    };
+    sim.finish();
+    point
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("# X10 — event-kernel scaling (timer wheel, 16..256 hosts)");
+    if smoke {
+        println!("# smoke mode: reduced sweep");
+    }
+
+    // Part 1: schedule/pop micro comparison, min of three runs each.
+    let micro_n = if smoke { MICRO_EVENTS / 10 } else { MICRO_EVENTS };
+    let offsets = micro_schedule(micro_n);
+    let wheel_ns = (0..3)
+        .map(|_| micro_wheel_ns(&offsets))
+        .fold(f64::INFINITY, f64::min);
+    let heap_ns = (0..3)
+        .map(|_| micro_heap_ns(&offsets))
+        .fold(f64::INFINITY, f64::min);
+    println!("\n## schedule/pop round trip ({micro_n} events, depth {MICRO_DEPTH})");
+    println!("  timer wheel   | {wheel_ns:6.1} ns/event");
+    println!("  heap + boxes  | {heap_ns:6.1} ns/event");
+    assert!(
+        wheel_ns <= heap_ns,
+        "the wheel ({wheel_ns:.1} ns) must not be slower than the heap \
+         baseline it replaced ({heap_ns:.1} ns)"
+    );
+
+    // Part 2: collective-heavy scaling sweep through the full ATM stack.
+    let host_counts: &[usize] = if smoke { &[16, 64] } else { &[16, 64, 128, 256] };
+    let rounds: u32 = if smoke { 1 } else { 4 };
+    println!("\n## collective gather+broadcast, {MSG_BYTES}-byte messages, {rounds} round(s)");
+    let mut points = Vec::new();
+    for &hosts in host_counts {
+        let p = run_collective(hosts, rounds);
+        println!(
+            "  {:3} hosts | {:8} ev | {:9.6}s virtual | {:6.3}s wall | {:9.0} ev/s | peak q {:5} | gauge peak {:5} ({} samples)",
+            p.hosts,
+            p.events,
+            p.virtual_s,
+            p.wall_s,
+            p.events_per_sec,
+            p.peak_queue_depth,
+            p.gauge_peak,
+            p.gauge_samples,
+        );
+        assert!(
+            p.gauge_samples > 0,
+            "queue-depth sampler never fired at {hosts} hosts"
+        );
+        assert!(
+            p.gauge_peak as usize <= p.peak_queue_depth,
+            "sampled gauge peak cannot exceed the kernel's own high-water mark"
+        );
+        points.push(p);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut json = String::from("{\n  \"experiment\": \"xp_scale\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"micro\": {{\"events\": {micro_n}, \"depth\": {MICRO_DEPTH}, \
+         \"wheel_ns_per_event\": {wheel_ns:.2}, \"heap_ns_per_event\": {heap_ns:.2}}},\n"
+    ));
+    json.push_str("  \"scaling\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"hosts\": {}, \"rounds\": {}, \"msg_bytes\": {MSG_BYTES}, \
+             \"events\": {}, \"virtual_s\": {:.9}, \"wall_s\": {:.6}, \
+             \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+             \"peak_queue_depth\": {}, \"queue_depth_gauge_peak\": {}, \
+             \"queue_depth_samples\": {}}}{}\n",
+            p.hosts,
+            p.rounds,
+            p.events,
+            p.virtual_s,
+            p.wall_s,
+            p.events_per_sec,
+            p.wall_s * 1e9 / p.events as f64,
+            p.peak_queue_depth,
+            p.gauge_peak,
+            p.gauge_samples,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("\nwrote results/BENCH_kernel.json");
+}

@@ -27,7 +27,9 @@ use bytes::Bytes;
 use ncs_mts::{Mts, MtsConfig, MtsCtx, MtsTid};
 use ncs_net::stack::WaitPolicy;
 use ncs_net::{Delivery, HostParams, Network, NodeId};
-use ncs_sim::{ActorId, AnalysisConfig, Ctx, Dur, Sim, SimChannel, SimTime, SpanKind};
+use ncs_sim::{
+    ActorId, AnalysisConfig, Ctx, Dur, Sim, SimChannel, SimTime, SpanKind, TimerHandle,
+};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -399,6 +401,10 @@ struct UnackedMsg {
     /// The frame has been retransmitted at least once; Karn's rule bars
     /// its ACK from RTT sampling (the echo is ambiguous).
     retransmitted: bool,
+    /// The armed loss-recovery timer, retracted from the kernel queue when
+    /// the frame is acknowledged (or purged with a dead peer) so stale
+    /// timers never fire as no-op events.
+    timer: Option<TimerHandle>,
 }
 
 struct UserThread {
@@ -1074,11 +1080,13 @@ impl NcsCtx<'_> {
             req_id
         };
         // Arm the expiry: if the request is still queued when the timer
-        // fires, cancel it and wake the waiter empty-handed.
+        // fires, cancel it and wake the waiter empty-handed. The handle
+        // lets a satisfied receive retract the timer from the kernel queue.
         let inner = Arc::clone(&self.proc.inner);
         let waiter = self.mctx.tid();
         let timed_out2 = Arc::clone(&timed_out);
-        self.ctx().sim().schedule_in(timeout, move |sim| {
+        let sim = self.ctx().sim();
+        let timer = sim.schedule_cancellable(sim.now() + timeout, move |sim| {
             let fire = {
                 let mut st = inner.state.lock();
                 match st.recv_reqs.iter().position(|r| r.req_id == req_id) {
@@ -1097,6 +1105,8 @@ impl NcsCtx<'_> {
         loop {
             self.mctx.block();
             if let Some(m) = slot.lock().take() {
+                // Satisfied before expiry: retract the timer.
+                self.ctx().sim().cancel_scheduled(timer);
                 self.proc.inner.state.lock().recv_msgs += 1;
                 observe_delivery(&self.proc.inner, m.causal, self.ctx().now());
                 return Some(m);
@@ -1333,10 +1343,20 @@ fn arm_retx_timer(inner: &Arc<ProcInner>, dst: usize, seq: u32) {
         let st = inner.state.lock();
         current_rto(&st, &inner.cfg.rto, dst)
     };
-    let inner = Arc::clone(inner);
-    inner.sim.clone().schedule_in(timeout, move |sim| {
-        retx_fire(&inner, sim, dst, seq);
+    let sim = inner.sim.clone();
+    let cb_inner = Arc::clone(inner);
+    let handle = sim.schedule_cancellable(sim.now() + timeout, move |sim| {
+        retx_fire(&cb_inner, sim, dst, seq);
     });
+    // Park the handle on the frame so acknowledgement retracts the timer
+    // from the kernel queue instead of letting it fire as a stale no-op.
+    if let Some(u) = inner.state.lock().unacked.get_mut(&(dst, seq)) {
+        u.timer = Some(handle);
+    } else {
+        // Frame vanished between scheduling and bookkeeping (defensive;
+        // the baton protocol makes this unreachable): retract immediately.
+        sim.cancel_scheduled(handle);
+    }
 }
 
 /// Timer expiry: retransmit (with exponential RTO backoff) if still
@@ -1364,6 +1384,11 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 let mut failed = Vec::with_capacity(keys.len());
                 for k in keys {
                     let u = st.unacked.remove(&k).expect("key just listed");
+                    // Retract the siblings' timers; the one that just fired
+                    // holds a spent handle, for which cancel is a no-op.
+                    if let Some(h) = u.timer {
+                        inner.sim.cancel_scheduled(h);
+                    }
                     failed.push((u.to, u.user_tag));
                 }
                 st.delivery_failures += failed.len() as u64;
@@ -1493,6 +1518,7 @@ fn register_unacked(inner: &Arc<ProcInner>, st: &mut MpsState, req: &SendReq) ->
             retries: 0,
             sent_at: None,
             retransmitted: false,
+            timer: None,
         },
     );
     (seq, wrapped)
@@ -2199,6 +2225,13 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                     }
                 }
                 if let Some(u) = st.unacked.remove(&(from.proc, seq)) {
+                    // Acknowledged: the loss-recovery timer is dead weight in
+                    // the kernel queue — retract it now rather than paying a
+                    // stale-timer event at RTO expiry (and, for the last
+                    // frame, dragging end_time out to the timeout horizon).
+                    if let Some(h) = u.timer {
+                        inner.sim.cancel_scheduled(h);
+                    }
                     if !u.retransmitted {
                         // Karn's rule: only frames never retransmitted give
                         // unambiguous round-trip samples.

@@ -25,14 +25,18 @@ pub fn atm_wire_bytes(payload: usize) -> usize {
     aal5::cells_for_pdu(payload) * CELL_BYTES
 }
 
-/// Would queueing `wire` more bytes behind `link` at `at` overflow an
-/// output buffer of `cap` cells? `None` models an infinite buffer.
-fn output_buffer_full(link: &LinkState, at: SimTime, wire: usize, cap: Option<usize>) -> bool {
+/// Does a chunk arriving at `link`'s output port at `at` find the buffer
+/// already full? `None` models an infinite buffer.
+///
+/// Cut-through occupancy: the port streams the incoming chunk out cell by
+/// cell while it arrives, so the chunk's own wire size never piles up —
+/// only the backlog of *other* chunks' cells still queued ahead of it
+/// counts. A chunk whose own cell count exceeds the capacity can therefore
+/// still flow through an empty port; it is dropped only when the buffer is
+/// already occupied to capacity when its first cell shows up.
+fn output_buffer_full(link: &LinkState, at: SimTime, cap: Option<usize>) -> bool {
     match cap {
-        Some(cells) => {
-            let queued = link.backlog_bytes(at) as usize / CELL_BYTES;
-            queued + wire / CELL_BYTES > cells
-        }
+        Some(cells) => link.backlog_bytes(at) as usize / CELL_BYTES >= cells,
         None => false,
     }
 }
@@ -46,9 +50,9 @@ pub struct AtmLanParams {
     pub access: LinkSpec,
     /// Fixed per-chunk latency through the switch.
     pub switch_latency: Dur,
-    /// Output-port buffer capacity in cells; a chunk that would push a
-    /// port's queue past this is dropped whole. `None` = infinite buffer
-    /// (the default, preserving lossless behaviour).
+    /// Output-port buffer capacity in cells; a chunk arriving at a port
+    /// whose queue already holds this many cells is dropped whole. `None` =
+    /// infinite buffer (the default, preserving lossless behaviour).
     pub output_buffer_cells: Option<usize>,
 }
 
@@ -145,7 +149,7 @@ impl Fabric for AtmLanFabric {
         let up = self.uplinks[src.idx()].enqueue(depart, wire, Dur::ZERO);
         let at_switch = up.arrival + self.params.switch_latency;
         let port = &self.downlinks[dst.idx()];
-        if output_buffer_full(port, at_switch, wire, self.params.output_buffer_cells) {
+        if output_buffer_full(port, at_switch, self.params.output_buffer_cells) {
             self.overflow_drops.fetch_add(1, Ordering::Relaxed);
             return TransferTiming {
                 first_hop_done: up.end,
@@ -179,8 +183,7 @@ impl Fabric for AtmLanFabric {
         let up = self.uplinks[src.idx()].enqueue_train(depart, cells, cell_wire_bytes, Dur::ZERO);
         let at_switch = up.slot.arrival + self.params.switch_latency;
         let port = &self.downlinks[dst.idx()];
-        let wire = cells * cell_wire_bytes;
-        if output_buffer_full(port, at_switch, wire, self.params.output_buffer_cells) {
+        if output_buffer_full(port, at_switch, self.params.output_buffer_cells) {
             self.overflow_drops.fetch_add(1, Ordering::Relaxed);
             return TrainTiming {
                 whole: TransferTiming {
@@ -402,7 +405,7 @@ impl Fabric for NynetFabric {
         }
         hops.push(&self.downlinks[dst.idx()]);
         for link in hops {
-            if output_buffer_full(link, at, wire, cap) {
+            if output_buffer_full(link, at, cap) {
                 self.overflow_drops.fetch_add(1, Ordering::Relaxed);
                 return TransferTiming {
                     first_hop_done: up.end,

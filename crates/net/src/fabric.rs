@@ -64,6 +64,14 @@ impl TrainTiming {
         assert!(i < self.cells, "cell index out of train");
         self.whole.arrival - self.cell_gap * (self.cells - 1 - i) as u64
     }
+
+    /// Arrival instant of the train's first cell. With
+    /// [`TrainTiming::cell_gap`], this is all a transport needs to schedule
+    /// the whole train as one self-rearming kernel event
+    /// (`Sim::schedule_count_train`) instead of per-cell closures.
+    pub fn first_arrival(&self) -> SimTime {
+        self.cell_arrival(0)
+    }
 }
 
 /// A wire-level topology with FIFO-queued links.

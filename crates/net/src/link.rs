@@ -133,6 +133,13 @@ impl TxTrain {
         assert!(i < self.cells, "cell index out of train");
         self.slot.arrival - self.cell_time * (self.cells - 1 - i) as u64
     }
+
+    /// Arrival instant of the train's first cell; with [`TxTrain::cell_time`]
+    /// as the spacing, enough to schedule the whole train in bulk as one
+    /// self-rearming kernel event.
+    pub fn first_arrival(&self) -> SimTime {
+        self.cell_arrival(0)
+    }
 }
 
 impl LinkState {

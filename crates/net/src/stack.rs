@@ -580,12 +580,15 @@ impl<F: Fabric> Network for AtmApiNet<F> {
             if let Some(train) = train {
                 if !timing.dropped {
                     // Approach-1 receiver: each cell raises its own kernel
-                    // event at its arithmetic arrival instant.
-                    for i in 0..train.cells {
-                        ctx.sim().schedule_at(train.cell_arrival(i), |sim| {
-                            sim.with_tracer(|tr| tr.count("atm.cell_events", 1));
-                        });
-                    }
+                    // event at its arithmetic arrival instant. One pooled
+                    // self-rearming record carries the whole train — same
+                    // per-cell event count, none of the per-cell closures.
+                    ctx.sim().schedule_count_train(
+                        train.first_arrival(),
+                        u32::try_from(train.cells).expect("train too long"),
+                        train.cell_gap,
+                        "atm.cell_events",
+                    );
                 }
             }
             // Receive-side reassembly on dst's adapter.

@@ -101,7 +101,7 @@ pub fn chrome_trace_json(tr: &Tracer, metrics: &MetricsRegistry) -> String {
              \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
             s.actor.index(),
             esc(s.label),
-            s.kind.name(),
+            esc(s.kind.name()),
             ts(s.t0),
             us(s.t1.since(s.t0).as_ps()),
         ));
@@ -188,5 +188,232 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(esc("x\ny"), "x\\ny");
+    }
+
+    /// Minimal JSON value for the parse-back test below. Hand-rolled
+    /// because the workspace deliberately has no serde: the point is to
+    /// prove the export is *well-formed JSON*, not merely
+    /// substring-matching.
+    #[derive(Debug, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) {
+            self.ws();
+            assert_eq!(self.b.get(self.i), Some(&c), "expected {:?}", c as char);
+            self.i += 1;
+        }
+
+        fn peek(&mut self) -> u8 {
+            self.ws();
+            self.b[self.i]
+        }
+
+        fn value(&mut self) -> Json {
+            match self.peek() {
+                b'{' => {
+                    self.eat(b'{');
+                    let mut kv = Vec::new();
+                    if self.peek() != b'}' {
+                        loop {
+                            let k = self.string();
+                            self.eat(b':');
+                            kv.push((k, self.value()));
+                            if self.peek() != b',' {
+                                break;
+                            }
+                            self.eat(b',');
+                        }
+                    }
+                    self.eat(b'}');
+                    Json::Obj(kv)
+                }
+                b'[' => {
+                    self.eat(b'[');
+                    let mut items = Vec::new();
+                    if self.peek() != b']' {
+                        loop {
+                            items.push(self.value());
+                            if self.peek() != b',' {
+                                break;
+                            }
+                            self.eat(b',');
+                        }
+                    }
+                    self.eat(b']');
+                    Json::Arr(items)
+                }
+                b'"' => Json::Str(self.string()),
+                b't' => {
+                    self.i += 4;
+                    Json::Bool(true)
+                }
+                b'f' => {
+                    self.i += 5;
+                    Json::Bool(false)
+                }
+                b'n' => {
+                    self.i += 4;
+                    Json::Null
+                }
+                _ => {
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        self.i += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+                    Json::Num(s.parse().expect("bad number"))
+                }
+            }
+        }
+
+        fn string(&mut self) -> String {
+            self.eat(b'"');
+            let mut out = String::new();
+            loop {
+                match self.b[self.i] {
+                    b'"' => {
+                        self.i += 1;
+                        return out;
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        match self.b[self.i] {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex =
+                                    std::str::from_utf8(&self.b[self.i + 1..self.i + 5]).unwrap();
+                                let cp = u32::from_str_radix(hex, 16).unwrap();
+                                out.push(char::from_u32(cp).unwrap());
+                                self.i += 4;
+                            }
+                            c => panic!("bad escape \\{}", c as char),
+                        }
+                        self.i += 1;
+                    }
+                    _ => {
+                        // Multi-byte UTF-8 sequences pass through verbatim.
+                        let s = std::str::from_utf8(&self.b[self.i..]).unwrap();
+                        let c = s.chars().next().unwrap();
+                        assert!((c as u32) >= 0x20, "unescaped control char");
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_json(s: &str) -> Json {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.i, p.b.len(), "trailing garbage after JSON document");
+        v
+    }
+
+    #[test]
+    fn hostile_labels_survive_a_json_round_trip() {
+        // Every dynamic string sink: actor (thread_name), span label (name),
+        // and gauge name (counter track) — all carrying `"`, `\`, and `\n`.
+        let actor_name = "evil \"actor\"\nline2\\end";
+        let label = "span \"quoted\"\nnewline\ttab";
+        let gauge = "g\"auge\n";
+        let mut tr = Tracer::new();
+        tr.enable();
+        let a = tr.intern(actor_name);
+        tr.span_on(a, SpanKind::Comm, label, t(1), t(2));
+        let mut m = MetricsRegistry::new();
+        m.gauge_set(gauge, 0, t(1), 7);
+        let json = chrome_trace_json(&tr, &m);
+
+        let doc = parse_json(&json);
+        let events = match doc.get("traceEvents") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| {
+                if e.get("ph").and_then(Json::as_str) == Some("M") {
+                    e.get("args")?.get("name")?.as_str()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(names.contains(&actor_name), "thread_name mangled: {names:?}");
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span event missing");
+        assert_eq!(span.get("name").and_then(Json::as_str), Some(label));
+        assert_eq!(span.get("cat").and_then(Json::as_str), Some("comm"));
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .expect("counter event missing");
+        assert_eq!(
+            counter.get("name").and_then(Json::as_str),
+            Some(&*format!("{gauge}[0]"))
+        );
+    }
+
+    #[test]
+    fn golden_shaped_export_parses_clean() {
+        // The well-behaved case must also be valid JSON end to end.
+        let mut tr = Tracer::new();
+        tr.enable();
+        let a = tr.intern("n0/t0");
+        let root = tr.open_span(a, SpanKind::Comm, "send", t(0), 5).unwrap();
+        tr.span_full(a, SpanKind::Comm, "wire", t(1), t(2), Some(root), 5);
+        tr.close_span(root, t(3));
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("depth", 2, t(1), 4);
+        parse_json(&chrome_trace_json(&tr, &m));
     }
 }

@@ -20,7 +20,6 @@
 //! inputs. [`Sim::trace_hash`] exposes a digest of the executed event
 //! sequence that tests use to assert bit-identical replay.
 
-use std::collections::BinaryHeap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,6 +30,7 @@ use crate::analysis::AnalysisConfig;
 use crate::metrics::MetricsRegistry;
 use crate::time::{Dur, SimTime};
 use crate::trace::Tracer;
+use crate::wheel::{TimerWheel, Token};
 
 /// Identifier of a green thread within one simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -49,7 +49,9 @@ pub enum StopReason {
     Completed,
     /// The configured virtual-time horizon was reached.
     TimeLimit,
-    /// The configured event-count guard tripped (runaway simulation).
+    /// The configured event-count guard tripped (runaway simulation). The
+    /// queue is left untouched past the cap — calling a `run_*` method again
+    /// resumes exactly where this run stopped, even mid-timestamp.
     EventLimit,
 }
 
@@ -186,36 +188,30 @@ struct ThreadSlot {
 enum EventKind {
     Resume(ThreadId),
     Call(Box<dyn FnOnce(&Sim) + Send>),
+    /// Increment a tracer counter. Unlike `Call`, carries no closure, so
+    /// scheduling one is allocation-free (the record is pooled).
+    Count { name: &'static str, n: u64 },
+    /// A self-rearming counter train: fires `remaining` times, `gap_ps`
+    /// apart, incrementing `name` by one each firing. Models per-cell
+    /// arrival events with ONE pooled record for the whole cell train.
+    CountTrain {
+        name: &'static str,
+        remaining: u32,
+        gap_ps: u64,
+    },
 }
 
-struct HeapEntry {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// Handle to a cancellable scheduled event, returned by
+/// [`Sim::schedule_cancellable`] and consumed by [`Sim::cancel_scheduled`].
+/// Copyable; using it after the event fired (or was already cancelled) is a
+/// harmless no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle(Token);
 
 struct Inner {
     now_ps: AtomicU64,
     seq: AtomicU64,
-    queue: Mutex<BinaryHeap<HeapEntry>>,
+    queue: Mutex<TimerWheel<EventKind>>,
     threads: Mutex<Vec<ThreadSlot>>,
     gate: KernelGate,
     tracer: Mutex<Tracer>,
@@ -264,7 +260,7 @@ impl Sim {
             inner: Arc::new(Inner {
                 now_ps: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
-                queue: Mutex::new(BinaryHeap::new()),
+                queue: Mutex::new(TimerWheel::new()),
                 threads: Mutex::new(Vec::new()),
                 gate: KernelGate::new(),
                 tracer: Mutex::new(Tracer::new()),
@@ -303,6 +299,13 @@ impl Sim {
         self.inner.queue.lock().len()
     }
 
+    /// High-water mark of the event queue's depth over the simulation's
+    /// lifetime. Tracked inside the timer wheel at zero per-event cost; the
+    /// scaling benches sample it as the `kernel.queue_depth` gauge.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.inner.queue.lock().peak_len()
+    }
+
     /// Access to the span/event tracer (used by the timeline figures).
     pub fn with_tracer<R>(&self, f: impl FnOnce(&mut Tracer) -> R) -> R {
         f(&mut self.inner.tracer.lock())
@@ -319,18 +322,17 @@ impl Sim {
         self.inner.seq.fetch_add(1, Ordering::SeqCst)
     }
 
-    fn push_event(&self, at: SimTime, kind: EventKind) {
+    fn push_event(&self, at: SimTime, kind: EventKind) -> Token {
         debug_assert!(
             at >= self.now(),
             "scheduling into the past: {at} < {}",
             self.now()
         );
+        // The sequence number is taken *before* the queue lock, in program
+        // order — the tie-break that makes every run a pure function of its
+        // inputs (and the golden trace byte-stable).
         let seq = self.next_seq();
-        self.inner.queue.lock().push(HeapEntry {
-            time: at.as_ps(),
-            seq,
-            kind,
-        });
+        self.inner.queue.lock().push(at.as_ps(), seq, kind)
     }
 
     /// Schedules `f` to run at virtual instant `at`.
@@ -341,6 +343,50 @@ impl Sim {
     /// Schedules `f` to run `after` from now.
     pub fn schedule_in(&self, after: Dur, f: impl FnOnce(&Sim) + Send + 'static) {
         self.schedule_at(self.now() + after, f);
+    }
+
+    /// Schedules `f` like [`Sim::schedule_at`], but returns a handle that
+    /// [`Sim::cancel_scheduled`] can use to retract the event before it
+    /// fires. Used for protocol timers (retransmission, receive timeouts)
+    /// that are usually satisfied long before they expire.
+    pub fn schedule_cancellable(
+        &self,
+        at: SimTime,
+        f: impl FnOnce(&Sim) + Send + 'static,
+    ) -> TimerHandle {
+        TimerHandle(self.push_event(at, EventKind::Call(Box::new(f))))
+    }
+
+    /// Retracts an event scheduled with [`Sim::schedule_cancellable`].
+    /// Returns `true` if the event was still pending (its closure is dropped
+    /// without running); `false` if it already fired or was cancelled.
+    pub fn cancel_scheduled(&self, handle: TimerHandle) -> bool {
+        self.inner.queue.lock().cancel(handle.0).is_some()
+    }
+
+    /// Schedules an increment of tracer counter `name` by `n` at `at`,
+    /// without allocating a closure (the event record is pooled).
+    pub fn schedule_count(&self, at: SimTime, name: &'static str, n: u64) {
+        self.push_event(at, EventKind::Count { name, n });
+    }
+
+    /// Schedules `cells` unit increments of tracer counter `name`, the first
+    /// at `first` and each subsequent one `gap` later — a cell train. Costs
+    /// one pooled, self-rearming event record for the whole train instead of
+    /// `cells` boxed closures, while still charging one kernel event per
+    /// cell (the per-cell fidelity `CellEventMode::PerCell` pays for).
+    pub fn schedule_count_train(&self, first: SimTime, cells: u32, gap: Dur, name: &'static str) {
+        if cells == 0 {
+            return;
+        }
+        self.push_event(
+            first,
+            EventKind::CountTrain {
+                name,
+                remaining: cells,
+                gap_ps: gap.as_ps(),
+            },
+        );
     }
 
     /// Spawns a green thread. The closure receives a [`Ctx`] for interacting
@@ -504,32 +550,58 @@ impl Sim {
         );
         let mut events: u64 = 0;
         let reason = loop {
-            let entry = {
+            let (time, seq, kind) = {
                 let mut q = self.inner.queue.lock();
                 match q.peek() {
                     None => break StopReason::Completed,
-                    Some(e) => {
+                    Some((t, _)) => {
                         if let Some(limit) = until {
-                            if e.time > limit.as_ps() {
+                            if t > limit.as_ps() {
                                 break StopReason::TimeLimit;
                             }
                         }
+                        // Check the cap BEFORE popping: breaking after the
+                        // pop would silently drop the popped event, leaving
+                        // a resumed run one event short (and, mid-timestamp,
+                        // nondeterministically so).
+                        if events >= max_events {
+                            break StopReason::EventLimit;
+                        }
                     }
                 }
-                q.pop().unwrap()
+                q.pop().expect("peeked event vanished")
             };
-            if events >= max_events {
-                break StopReason::EventLimit;
-            }
             events += 1;
-            self.inner.now_ps.store(entry.time, Ordering::SeqCst);
-            match entry.kind {
+            self.inner.now_ps.store(time, Ordering::SeqCst);
+            match kind {
                 EventKind::Call(f) => {
-                    self.mix_hash(entry.time, entry.seq, 1);
+                    self.mix_hash(time, seq, 1);
                     f(self);
                 }
+                EventKind::Count { name, n } => {
+                    self.mix_hash(time, seq, 3 | (n << 8));
+                    self.with_tracer(|tr| tr.count(name, n));
+                }
+                EventKind::CountTrain {
+                    name,
+                    remaining,
+                    gap_ps,
+                } => {
+                    self.mix_hash(time, seq, 4 | (u64::from(remaining) << 8));
+                    self.with_tracer(|tr| tr.count(name, 1));
+                    if remaining > 1 {
+                        self.push_event(
+                            SimTime::from_ps(time + gap_ps),
+                            EventKind::CountTrain {
+                                name,
+                                remaining: remaining - 1,
+                                gap_ps,
+                            },
+                        );
+                    }
+                }
                 EventKind::Resume(tid) => {
-                    self.mix_hash(entry.time, entry.seq, 2 | (u64::from(tid.0) << 8));
+                    self.mix_hash(time, seq, 2 | (u64::from(tid.0) << 8));
                     let baton = {
                         let mut table = self.inner.threads.lock();
                         let slot = &mut table[tid.0 as usize];
@@ -876,6 +948,108 @@ mod tests {
         let out = sim.run_bounded(None, 1000);
         assert_eq!(out.reason, StopReason::EventLimit);
         assert_eq!(out.events, 1000);
+    }
+
+    #[test]
+    fn event_cap_mid_timestamp_is_resumable_without_loss() {
+        // Five events at the same instant, capped at three: the pre-fix
+        // kernel popped the fourth entry before noticing the cap and dropped
+        // it on the floor. Resuming must run events 3 and 4 exactly once.
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..5 {
+            let log = Arc::clone(&log);
+            sim.schedule_at(SimTime::from_ps(7), move |_| log.lock().push(tag));
+        }
+        let first = sim.run_bounded(None, 3);
+        assert_eq!(first.reason, StopReason::EventLimit);
+        assert_eq!(first.events, 3);
+        assert_eq!(*log.lock(), vec![0, 1, 2]);
+        assert_eq!(sim.pending_events(), 2, "capped events must stay queued");
+        let second = sim.run_bounded(None, u64::MAX);
+        second.assert_clean();
+        assert_eq!(second.events, 2);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn event_cap_equal_to_queue_len_reports_quiescence() {
+        // Cap == total events: the run drains the queue, so the outcome is
+        // Completed (quiescence), not a cap hit — the two must stay
+        // distinguishable.
+        let sim = Sim::new();
+        for t in 0..4u64 {
+            sim.schedule_at(SimTime::from_ps(t), |_| {});
+        }
+        let out = sim.run_bounded(None, 4);
+        assert_eq!(out.reason, StopReason::Completed);
+        assert_eq!(out.events, 4);
+    }
+
+    #[test]
+    fn count_events_accumulate_without_closures() {
+        let sim = Sim::new();
+        sim.schedule_count(SimTime::from_ps(10), "k.cells", 3);
+        sim.schedule_count(SimTime::from_ps(20), "k.cells", 4);
+        let out = sim.run();
+        out.assert_clean();
+        assert_eq!(out.events, 2);
+        assert_eq!(sim.with_tracer(|tr| tr.counter("k.cells")), 7);
+    }
+
+    #[test]
+    fn count_train_fires_once_per_cell() {
+        let sim = Sim::new();
+        sim.schedule_count_train(SimTime::from_ps(1000), 5, Dur::from_ps(30), "k.train");
+        let out = sim.run();
+        out.assert_clean();
+        assert_eq!(out.events, 5, "one kernel event per cell");
+        assert_eq!(sim.with_tracer(|tr| tr.counter("k.train")), 5);
+        assert_eq!(out.end_time, SimTime::from_ps(1000 + 4 * 30));
+        // Empty trains are a no-op, not a stuck record.
+        sim.schedule_count_train(SimTime::from_ps(2000), 0, Dur::from_ps(30), "k.train");
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn cancellable_timer_retracted_before_firing() {
+        let sim = Sim::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f1 = Arc::clone(&fired);
+        let h = sim.schedule_cancellable(SimTime::from_ps(50), move |_| {
+            f1.fetch_add(1, Ordering::SeqCst);
+        });
+        let f2 = Arc::clone(&fired);
+        sim.schedule_at(SimTime::from_ps(60), move |_| {
+            f2.fetch_add(10, Ordering::SeqCst);
+        });
+        assert!(sim.cancel_scheduled(h), "pending timer must cancel");
+        assert!(!sim.cancel_scheduled(h), "second cancel is a no-op");
+        let out = sim.run();
+        out.assert_clean();
+        assert_eq!(fired.load(Ordering::SeqCst), 10, "cancelled closure ran");
+        assert_eq!(out.events, 1, "cancelled event must not be dispatched");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let sim = Sim::new();
+        let h = sim.schedule_cancellable(SimTime::from_ps(5), |_| {});
+        sim.run().assert_clean();
+        assert!(!sim.cancel_scheduled(h));
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_high_water_mark() {
+        let sim = Sim::new();
+        for t in 0..32u64 {
+            sim.schedule_at(SimTime::from_ps(t), |_| {});
+        }
+        assert_eq!(sim.pending_events(), 32);
+        sim.run().assert_clean();
+        assert_eq!(sim.pending_events(), 0);
+        // 32 scheduled events plus nothing else in flight.
+        assert_eq!(sim.peak_queue_depth(), 32);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`SimTime`] / [`Dur`] — integer picosecond virtual time;
 //! * [`Sim`] / [`Ctx`] — the kernel, event scheduling, and green threads
 //!   under a strict baton-passing protocol (at most one runnable activity);
+//! * [`wheel`] — the kernel's event queue: a hierarchical timer wheel with
+//!   pooled event records (O(1) schedule, allocation-free steady state);
 //! * [`FifoResource`] — counted FIFO resources (buses, links, buffer pools);
 //! * [`SimChannel`] — blocking queues between simulated activities;
 //! * [`Tracer`] — span recording (interned actors, parent links, causal
@@ -46,11 +48,12 @@ mod rng;
 mod stats;
 mod time;
 mod trace;
+pub mod wheel;
 
 pub use analysis::{AnalysisConfig, InvariantSink, Violation, WaitGraph};
 pub use channel::{Closed, SimChannel};
 pub use chrome::chrome_trace_json;
-pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId};
+pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId, TimerHandle};
 pub use metrics::{DurStat, GaugeSeries, MetricsRegistry, Timeline};
 pub use resource::FifoResource;
 pub use rng::SimRng;

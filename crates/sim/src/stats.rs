@@ -66,6 +66,10 @@ pub struct DurHistogram {
     /// bucket k counts observations in `[2^k, 2^(k+1))` microseconds;
     /// bucket 0 also holds sub-microsecond observations.
     buckets: Vec<u64>,
+    /// Largest observation (in ps) seen per bucket, to tighten quantile
+    /// bounds: an exact power of two must report itself, not the bucket's
+    /// open upper edge one full bucket higher.
+    bucket_max_ps: Vec<u64>,
     summary: DurSummary,
 }
 
@@ -80,6 +84,7 @@ impl DurHistogram {
     pub fn new() -> DurHistogram {
         DurHistogram {
             buckets: vec![0; 32],
+            bucket_max_ps: vec![0; 32],
             summary: DurSummary::new(),
         }
     }
@@ -95,7 +100,9 @@ impl DurHistogram {
 
     /// Adds one observation.
     pub fn record(&mut self, d: Dur) {
-        self.buckets[Self::bucket_of(d)] += 1;
+        let b = Self::bucket_of(d);
+        self.buckets[b] += 1;
+        self.bucket_max_ps[b] = self.bucket_max_ps[b].max(d.as_ps());
         self.summary.record(d);
     }
 
@@ -117,7 +124,13 @@ impl DurHistogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(Dur::from_micros(1u64 << (k + 1)));
+                // The target observation lies in bucket k, so both the
+                // bucket's open upper edge and the largest value actually
+                // recorded in it bound the quantile; the latter is tighter,
+                // and keeps exact-power-of-two data from reporting a bound
+                // one full bucket high.
+                let edge_ps = Dur::from_micros(1u64 << (k + 1)).as_ps();
+                return Some(Dur::from_ps(edge_ps.min(self.bucket_max_ps[k])));
             }
         }
         self.summary.max()
@@ -180,6 +193,34 @@ mod tests {
         assert!(p50 >= Dur::from_micros(500) && p50 <= Dur::from_micros(1024));
         assert!(p95 >= Dur::from_micros(950) && p95 <= Dur::from_micros(2048));
         assert!(h.quantile(1.0).unwrap() >= h.summary().max().unwrap());
+    }
+
+    #[test]
+    fn quantile_exact_power_of_two_is_not_inflated() {
+        // 1024 µs lands in bucket 10 ([1024, 2048)); the pre-fix quantile
+        // reported the bucket's open edge, 2048 µs — one full bucket high.
+        let mut h = DurHistogram::new();
+        for _ in 0..100 {
+            h.record(Dur::from_micros(1024));
+        }
+        assert_eq!(h.quantile(0.5), Some(Dur::from_micros(1024)));
+        assert_eq!(h.quantile(0.99), Some(Dur::from_micros(1024)));
+        assert_eq!(h.quantile(1.0), Some(Dur::from_micros(1024)));
+    }
+
+    #[test]
+    fn quantile_bound_is_tightest_recorded_value_in_bucket() {
+        let mut h = DurHistogram::new();
+        // Bucket 1 is [2, 4) µs; its largest recorded value is 3 µs, so no
+        // quantile landing there may exceed 3 µs.
+        h.record(Dur::from_micros(2));
+        h.record(Dur::from_micros(3));
+        assert_eq!(h.quantile(0.5), Some(Dur::from_micros(3)));
+        assert_eq!(h.quantile(1.0), Some(Dur::from_micros(3)));
+        // A later, larger observation in a higher bucket must not loosen
+        // the low bucket's bound.
+        h.record(Dur::from_micros(100));
+        assert_eq!(h.quantile(0.5), Some(Dur::from_micros(3)));
     }
 
     #[test]

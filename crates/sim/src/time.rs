@@ -57,11 +57,15 @@ impl Dur {
 
     /// The time it takes to serialize `bytes` bytes onto a link running at
     /// `bits_per_sec`, rounded up to the next picosecond so that modeled
-    /// transmission never takes zero time.
+    /// transmission never takes zero time. Zero-byte frames (pure-header
+    /// artifacts of fragmentation edge cases) still cost 1 ps: a
+    /// zero-duration wire event could reorder against its own enqueue.
     pub fn for_bytes(bytes: usize, bits_per_sec: u64) -> Dur {
         assert!(bits_per_sec > 0, "zero-rate link");
         let bits = bytes as u128 * 8;
-        let ps = (bits * 1_000_000_000_000).div_ceil(bits_per_sec as u128);
+        let ps = (bits * 1_000_000_000_000)
+            .div_ceil(bits_per_sec as u128)
+            .max(1);
         Dur(u64::try_from(ps).expect("duration overflow"))
     }
 
@@ -310,6 +314,24 @@ mod tests {
     #[test]
     fn for_bytes_never_zero() {
         assert!(Dur::for_bytes(1, u64::MAX).as_ps() > 0);
+    }
+
+    #[test]
+    fn for_bytes_zero_length_still_costs_a_picosecond() {
+        // The boundary the old `div_ceil` missed: 0 bits ceil-divides to 0.
+        assert_eq!(Dur::for_bytes(0, 1).as_ps(), 1);
+        assert_eq!(Dur::for_bytes(0, 155_520_000).as_ps(), 1);
+        assert_eq!(Dur::for_bytes(0, u64::MAX).as_ps(), 1);
+    }
+
+    #[test]
+    fn for_bytes_rounding_boundaries() {
+        // Exact division is untouched by the ≥1 ps clamp: 1 byte at 8 Gb/s
+        // is exactly 1000 ps.
+        assert_eq!(Dur::for_bytes(1, 8_000_000_000).as_ps(), 1_000);
+        // One bit over exact: must round up, not down.
+        assert_eq!(Dur::for_bytes(1, 8_000_000_001).as_ps(), 1_000);
+        assert_eq!(Dur::for_bytes(1, u64::MAX).as_ps(), 1);
     }
 
     #[test]

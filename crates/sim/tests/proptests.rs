@@ -1,9 +1,13 @@
 //! Property tests of the simulation kernel's core guarantees:
-//! determinism, time monotonicity, resource capacity, channel FIFO order.
+//! determinism, time monotonicity, resource capacity, channel FIFO order,
+//! and timer-wheel/binary-heap pop-order equivalence.
 
+use ncs_sim::wheel::TimerWheel;
 use ncs_sim::{Dur, FifoResource, Sim, SimChannel, SimRng, SimTime};
 use parking_lot::Mutex;
 use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Builds a pseudo-random program of sleeping/waking/channel-passing
@@ -137,5 +141,73 @@ proptest! {
         });
         sim.run().assert_clean();
         prop_assert!(seen.lock().iter().all(|&c| c == msgs));
+    }
+
+    /// The timer wheel pops in exactly the `(time, seq)` order a reference
+    /// `BinaryHeap` model produces, under random interleavings of
+    /// schedule / cancel / pop with heavy same-timestamp collisions and
+    /// horizons spanning many wheel epochs (the 1024-slot ring wraps
+    /// dozens of times).
+    #[test]
+    fn wheel_pop_order_matches_heap_model(
+        seed in 0u64..10_000,
+        tick_shift in 0u32..12,
+        ops in 2_000usize..12_000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut wheel: TimerWheel<u64> = TimerWheel::with_tick_shift(tick_shift);
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        // Live events by (time, seq) -> token, for random cancellation.
+        let mut live = Vec::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        // Span ~40 epochs of the wheel's window regardless of tick size.
+        let window = 1u64 << (tick_shift + 10);
+        for _ in 0..ops {
+            match rng.gen_index(10) {
+                // 60% schedule: same-instant, same-tick, in-window, far.
+                0..=5 => {
+                    let dt = match rng.gen_index(4) {
+                        0 => 0,
+                        1 => rng.gen_range(1u64 << tick_shift) + 1,
+                        2 => rng.gen_range(window),
+                        _ => rng.gen_range(window * 40),
+                    };
+                    let t = now + dt;
+                    let tok = wheel.push(t, seq, seq);
+                    model.push(Reverse((t, seq)));
+                    live.push(((t, seq), tok));
+                    seq += 1;
+                }
+                // 20% pop.
+                6 | 7 => {
+                    let got = wheel.pop().map(|(t, s, _)| (t, s));
+                    let want = model.pop().map(|Reverse(p)| p);
+                    prop_assert_eq!(got, want);
+                    if let Some((t, s)) = want {
+                        now = now.max(t);
+                        live.retain(|&(k, _)| k != (t, s));
+                    }
+                }
+                // 20% cancel a random live event in both structures.
+                _ => {
+                    if !live.is_empty() {
+                        let i = rng.gen_index(live.len());
+                        let ((t, s), tok) = live.swap_remove(i);
+                        prop_assert_eq!(wheel.cancel(tok), Some(s));
+                        let kept: Vec<_> =
+                            model.drain().filter(|&Reverse(p)| p != (t, s)).collect();
+                        model.extend(kept);
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len());
+        }
+        // Drain both completely: every remaining event agrees.
+        while let Some(Reverse(want)) = model.pop() {
+            prop_assert_eq!(wheel.pop().map(|(t, s, _)| (t, s)), Some(want));
+        }
+        prop_assert!(wheel.pop().is_none());
+        prop_assert!(wheel.is_empty());
     }
 }

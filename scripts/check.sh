@@ -23,6 +23,9 @@ cargo run --release -p ncs-bench --bin xp_pipeline -- --smoke
 echo "== observability smoke: golden-trace determinism (as CI) =="
 cargo run --release -p ncs-bench --bin xp_observe -- --smoke
 
+echo "== event-kernel scaling smoke (as CI) =="
+cargo run --release -p ncs-bench --bin xp_scale -- --smoke
+
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test
 
