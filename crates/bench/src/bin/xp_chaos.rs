@@ -13,12 +13,25 @@
 //! adaptive, Jacobson-style RTO) delivers **bit-exact** application results
 //! at every fault level, at a visible cost in elapsed time and
 //! retransmissions. A transport microscope (one producer/consumer pair)
-//! reports the retransmit/backoff/RTO numbers per level, and a final
+//! reports the retransmit/backoff/RTO numbers per level, and a
 //! crash-stop scene shows sends to a dead peer failing fast with a
 //! delivery-failure exception instead of hanging.
 //!
+//! Extension experiment **X11** rides in the same binary: a WAN-scale
+//! sweep over three switch topologies (single FORE switch, campus
+//! fat-tree, mixed DS-3/OC-48 wide-area ring) at 64 application hosts,
+//! each at three fault levels (clean / lossy / harsh). The harsh rung
+//! adds deterministic link-flap windows on access and trunk links,
+//! finite switch output buffers, and seeded VBR cross-traffic from
+//! eight extra hosts that contend with the application on the shared
+//! links. Every level asserts its invariants (a clean wire retransmits
+//! nothing — and spuriously retransmits nothing; damage forces
+//! retransmissions but never a delivery failure; reassembly backlogs
+//! drain to zero) and the whole sweep lands in
+//! `results/BENCH_chaos.json`.
+//!
 //! ```text
-//! cargo run --release -p ncs-bench --bin xp_chaos
+//! cargo run --release -p ncs-bench --bin xp_chaos [-- --smoke]
 //! ```
 
 use bytes::Bytes;
@@ -31,9 +44,11 @@ use ncs_core::{
 };
 use ncs_net::atm::{AtmLanFabric, AtmLanParams};
 use ncs_net::{
-    ChaosNet, ChaosParams, FaultStatsSnapshot, HostParams, Network, NodeId, TcpNet, TcpParams,
+    spawn_vbr, ChaosNet, ChaosParams, ChaosTopology, Fabric, FaultStatsSnapshot, HostParams,
+    Network, NodeId, TcpNet, TcpParams, VbrConfig,
 };
 use ncs_sim::{Dur, Sim, SimTime};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// One rung of the damage ladder.
@@ -337,8 +352,371 @@ fn run_crash_stop() {
     sim.finish();
 }
 
+// ---------------------------------------------------------------------------
+// X11: the WAN-scale sweep — topology × fault level at 64 hosts.
+// ---------------------------------------------------------------------------
+
+/// One rung of the sweep's fault axis.
+struct SweepLevel {
+    label: &'static str,
+    /// Per-cell bit-flip probability.
+    p_corrupt: f64,
+    /// Per-cell loss probability.
+    p_loss: f64,
+    /// Deterministic outage windows on two access links and (where the
+    /// topology has one) the first trunk.
+    flaps: bool,
+    /// Seeded VBR cross-traffic from the extra hosts.
+    vbr: bool,
+    /// Finite per-switch output buffer (cells); `None` = lossless switch.
+    output_buffer: Option<usize>,
+}
+
+/// Clean / lossy / harsh. Loss rates are per *cell*; a 4 KB message is
+/// ~90 cells, so harsh (5e-3) rejects roughly one in three CS-PDUs and
+/// retransmission is constantly at work.
+const SWEEP_LEVELS: &[SweepLevel] = &[
+    SweepLevel {
+        label: "clean",
+        p_corrupt: 0.0,
+        p_loss: 0.0,
+        flaps: false,
+        vbr: false,
+        output_buffer: None,
+    },
+    SweepLevel {
+        label: "lossy",
+        p_corrupt: 1e-4,
+        p_loss: 2e-3,
+        flaps: false,
+        vbr: false,
+        output_buffer: None,
+    },
+    SweepLevel {
+        label: "harsh",
+        p_corrupt: 5e-4,
+        p_loss: 5e-3,
+        flaps: true,
+        vbr: true,
+        output_buffer: Some(4096),
+    },
+];
+
+/// Flap windows for the harsh rung. Early enough that every host still
+/// has ring traffic on the wire, short enough (≪ the 160 ms pre-sample
+/// RTO) that retransmission carries the losses and nobody is declared
+/// partitioned — the sweep tests degradation, not fail-fast (the
+/// dedicated recovery tests cover that).
+const SWEEP_FLAPS: &[(SimTime, SimTime)] = &[
+    (SimTime::from_ps(1_000_000_000), SimTime::from_ps(6_000_000_000)), // 1–6 ms
+    (SimTime::from_ps(3_000_000_000), SimTime::from_ps(8_000_000_000)), // 3–8 ms
+    (SimTime::from_ps(9_000_000_000), SimTime::from_ps(13_000_000_000)), // 9–13 ms
+];
+
+/// Deterministic payload byte for (sender, tag, offset): the receiver
+/// recomputes it, so bit-exactness is checked on every delivered byte.
+fn fill_byte(src: usize, tag: u32, j: usize) -> u8 {
+    (src as u32)
+        .wrapping_mul(131)
+        .wrapping_add(tag.wrapping_mul(17))
+        .wrapping_add(j as u32) as u8
+}
+
+/// Everything one (topology, level) cell of the sweep leaves behind.
+struct MeshOutcome {
+    topo: ChaosTopology,
+    level: &'static str,
+    /// Virtual instant the last application thread finished (the VBR
+    /// horizon may keep the simulator itself running longer).
+    app_done: Dur,
+    /// Application payload bytes delivered (hosts × msgs × msg_bytes).
+    payload_bytes: u64,
+    /// p99 end-to-end message latency from the `obs.e2e` histogram
+    /// (conservative upper bound).
+    p99: Dur,
+    retransmits: u64,
+    spurious: u64,
+    backoffs: u64,
+    deferred: u64,
+    failures: u64,
+    reclaimed: u64,
+    backlog: usize,
+    damage: FaultStatsSnapshot,
+    overflow_drops: u64,
+    flap_losses: u64,
+    vbr_bytes: u64,
+    vbr_chunks: u64,
+}
+
+impl MeshOutcome {
+    fn goodput_mbps(&self) -> f64 {
+        self.payload_bytes as f64 * 8.0 / self.app_done.as_secs_f64() / 1e6
+    }
+}
+
+/// One sweep cell: `hosts` application processes in a ring (each sends
+/// `msgs` tagged messages to its right neighbour and receives, verifying
+/// every byte, from its left), over `topo` built with `extras` additional
+/// cross-traffic hosts, damaged per `level`.
+fn run_mesh(
+    topo: ChaosTopology,
+    level: &SweepLevel,
+    hosts: usize,
+    extras: usize,
+    msgs: u32,
+    msg_bytes: usize,
+    seed: u64,
+) -> MeshOutcome {
+    let sim = Sim::new();
+    let (fabric, raw) = topo.build_chaos(hosts, extras, level.output_buffer);
+    let chaos = ChaosNet::new(raw, ChaosParams::new(level.p_corrupt, level.p_loss, seed));
+    let net: Arc<dyn Network> = Arc::clone(&chaos) as Arc<dyn Network>;
+
+    if level.flaps {
+        // Two access links and, where the topology has one, a trunk: the
+        // multi-switch arms lose whole route bundles, the LAN only the
+        // per-host edges.
+        fabric
+            .uplink_of(NodeId(1))
+            .schedule_flap(SWEEP_FLAPS[0].0, SWEEP_FLAPS[0].1);
+        fabric
+            .downlink_of(NodeId(2))
+            .schedule_flap(SWEEP_FLAPS[1].0, SWEEP_FLAPS[1].1);
+        if let Some(trunk) = fabric.trunk_links().first() {
+            trunk.schedule_flap(SWEEP_FLAPS[2].0, SWEEP_FLAPS[2].1);
+        }
+    }
+
+    let vbr_handles: Vec<_> = if level.vbr {
+        (0..extras)
+            .map(|i| {
+                // Each extra host streams at a distant application host:
+                // the flows cross the trunks and contend with the ring
+                // traffic on shared switch ports.
+                spawn_vbr(
+                    &sim,
+                    Arc::clone(&fabric) as Arc<dyn Fabric>,
+                    VbrConfig {
+                        src: NodeId((hosts + i) as u32),
+                        dst: NodeId(((i * 11 + 3) % hosts) as u32),
+                        chunk_bytes: 4096,
+                        mean_on: Dur::from_millis(1),
+                        mean_off: Dur::from_millis(3),
+                        horizon: Dur::from_millis(250),
+                        seed: seed.wrapping_mul(31).wrapping_add(i as u64),
+                    },
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let app_done = Arc::new(Mutex::new(SimTime::ZERO));
+    let done_in = Arc::clone(&app_done);
+    let world = NcsWorld::launch(&sim, vec![net], hosts, chaos_cfg(), move |id, proc_| {
+        let done = Arc::clone(&done_in);
+        proc_.t_create("ring", 5, move |ncs| {
+            let right = (id + 1) % hosts;
+            let left = (id + hosts - 1) % hosts;
+            for i in 0..msgs {
+                let payload: Vec<u8> = (0..msg_bytes).map(|j| fill_byte(id, i, j)).collect();
+                ncs.send(ThreadAddr::new(right, 0), i, Bytes::from(payload));
+                let m = ncs.recv(Some(left), None, Some(i));
+                assert_eq!(m.data.len(), msg_bytes, "proc {id} tag {i}");
+                for (j, &b) in m.data.iter().enumerate() {
+                    assert_eq!(
+                        b,
+                        fill_byte(left, i, j),
+                        "proc {id} tag {i}: byte {j} damaged in flight"
+                    );
+                }
+            }
+            let now = ncs.ctx().now();
+            let mut d = done.lock();
+            if now > *d {
+                *d = now;
+            }
+        });
+    });
+
+    let out = sim.run();
+    out.assert_clean();
+
+    let mut o = MeshOutcome {
+        topo,
+        level: level.label,
+        app_done: app_done.lock().since(SimTime::ZERO),
+        payload_bytes: hosts as u64 * msgs as u64 * msg_bytes as u64,
+        p99: sim.with_metrics(|m| {
+            m.stat("obs.e2e")
+                .and_then(|st| st.hist().quantile(0.99))
+                .unwrap_or(Dur::ZERO)
+        }),
+        retransmits: 0,
+        spurious: 0,
+        backoffs: 0,
+        deferred: 0,
+        failures: 0,
+        reclaimed: 0,
+        backlog: 0,
+        damage: chaos.stats().snapshot(),
+        overflow_drops: fabric.overflow_drop_count(),
+        flap_losses: fabric.flap_loss_count(),
+        vbr_bytes: vbr_handles.iter().map(|h| h.bytes_offered()).sum(),
+        vbr_chunks: vbr_handles.iter().map(|h| h.chunks_offered()).sum(),
+    };
+    for p in world.procs() {
+        let st = p.error_stats();
+        o.retransmits += st.retransmits;
+        o.spurious += st.spurious_retransmits;
+        o.backoffs += st.backoff_events;
+        o.deferred += st.retx_deferred;
+        o.failures += st.delivery_failures;
+        o.reclaimed += st.reassembly_reclaimed;
+        o.backlog += p.reassembly_backlog();
+        assert!(
+            st.dead_peers.is_empty(),
+            "{}/{}: no peer may be declared dead ({:?})",
+            topo.id(),
+            level.label,
+            st.dead_peers
+        );
+    }
+    sim.finish();
+    o
+}
+
+fn check_mesh_invariants(o: &MeshOutcome) {
+    let at = format!("{}/{}", o.topo.id(), o.level);
+    assert_eq!(o.failures, 0, "{at}: degradation must stay graceful — no delivery failures");
+    assert_eq!(
+        o.backlog, 0,
+        "{at}: every reassembly buffer must drain (bounded memory)"
+    );
+    if o.level == "clean" {
+        assert_eq!(o.retransmits, 0, "{at}: a clean wire must need no retransmissions");
+        assert_eq!(o.spurious, 0, "{at}: a clean wire must see no spurious retransmissions");
+    } else {
+        assert!(
+            o.retransmits > 0,
+            "{at}: damage ({} cells lost, {} corrupted, {} flap losses, {} overflow drops) \
+             must force retransmissions",
+            o.damage.cells_lost,
+            o.damage.cells_corrupted,
+            o.flap_losses,
+            o.overflow_drops
+        );
+    }
+    if o.level == "harsh" {
+        assert!(
+            o.flap_losses > 0,
+            "{at}: the scheduled outage windows must eat in-flight cells"
+        );
+        assert!(o.vbr_chunks > 0, "{at}: cross-traffic must actually flow");
+    }
+}
+
+fn print_mesh(o: &MeshOutcome) {
+    println!(
+        "  {:9} | {:5} | {:9.4}s | {:8.2} Mb/s | p99 {:9.3}ms | {:5} retx {:3} spur {:4} back {:3} defer | {:5} lost {:4} corrupt | {:4} ovfl {:4} flap | {:6.2} MB vbr",
+        o.topo.id(),
+        o.level,
+        o.app_done.as_secs_f64(),
+        o.goodput_mbps(),
+        o.p99.as_secs_f64() * 1e3,
+        o.retransmits,
+        o.spurious,
+        o.backoffs,
+        o.deferred,
+        o.damage.cells_lost,
+        o.damage.cells_corrupted,
+        o.overflow_drops,
+        o.flap_losses,
+        o.vbr_bytes as f64 / 1e6,
+    );
+}
+
+fn mesh_json(o: &MeshOutcome) -> String {
+    format!(
+        "{{\"topology\": \"{}\", \"level\": \"{}\", \"app_done_s\": {:.9}, \
+         \"goodput_mbps\": {:.3}, \"p99_ms\": {:.6}, \"payload_bytes\": {}, \
+         \"retransmits\": {}, \"spurious_retransmits\": {}, \"backoffs\": {}, \
+         \"retx_deferred\": {}, \"delivery_failures\": {}, \
+         \"reassembly_reclaimed\": {}, \"reassembly_backlog\": {}, \
+         \"cells_lost\": {}, \"cells_corrupted\": {}, \"headers_corrected\": {}, \
+         \"pdus_rejected\": {}, \"overflow_drops\": {}, \"flap_losses\": {}, \
+         \"vbr_bytes\": {}, \"vbr_chunks\": {}}}",
+        o.topo.id(),
+        o.level,
+        o.app_done.as_secs_f64(),
+        o.goodput_mbps(),
+        o.p99.as_secs_f64() * 1e3,
+        o.payload_bytes,
+        o.retransmits,
+        o.spurious,
+        o.backoffs,
+        o.deferred,
+        o.failures,
+        o.reclaimed,
+        o.backlog,
+        o.damage.cells_lost,
+        o.damage.cells_corrupted,
+        o.damage.headers_corrected,
+        o.damage.pdus_rejected,
+        o.overflow_drops,
+        o.flap_losses,
+        o.vbr_bytes,
+        o.vbr_chunks,
+    )
+}
+
+fn run_sweep(smoke: bool) -> Vec<MeshOutcome> {
+    let (hosts, extras, msgs, msg_bytes) = if smoke {
+        (16, 4, 8, 4096)
+    } else {
+        (64, 8, 16, 4096)
+    };
+    println!(
+        "## X11 — WAN-scale sweep: {hosts} app hosts + {extras} cross-traffic, \
+         ring of {msgs} x {msg_bytes} B messages\n"
+    );
+    let mut outcomes = Vec::new();
+    for topo in ChaosTopology::all() {
+        for (li, level) in SWEEP_LEVELS.iter().enumerate() {
+            let seed = 0xA7A7_0000 + li as u64 * 131 + topo.id().len() as u64;
+            let o = run_mesh(topo, level, hosts, extras, msgs, msg_bytes, seed);
+            print_mesh(&o);
+            check_mesh_invariants(&o);
+            outcomes.push(o);
+        }
+        println!();
+    }
+    let mut json = String::from("{\n  \"experiment\": \"xp_chaos\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"hosts\": {hosts}, \"extra_hosts\": {extras}, \
+         \"msgs_per_host\": {msgs}, \"msg_bytes\": {msg_bytes},\n"
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&mesh_json(o));
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote results/BENCH_chaos.json\n");
+    outcomes
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("# X7 — chaos sweep: cell-level faults vs NCS error control");
+    if smoke {
+        println!("# smoke mode: reduced sweep");
+    }
     println!("# FORE ATM LAN stack; matmul 32x32/2 nodes, JPEG 64x64/2 nodes, FFT 512pt-class 64pt/2 sets/2 nodes");
     println!(
         "# microscope: {} x {} KB producer->consumer stream\n",
@@ -401,9 +779,18 @@ fn main() {
     assert!(harsh_retx > 0);
 
     run_crash_stop();
+    println!();
+
+    let outcomes = run_sweep(smoke);
+    let harsh_total: u64 = outcomes
+        .iter()
+        .filter(|o| o.level == "harsh")
+        .map(|o| o.retransmits)
+        .sum();
+    assert!(harsh_total > 0);
 
     println!(
-        "\n(every app run at every fault level verified bit-exact; recovery is \
+        "(every app run at every fault level verified bit-exact; recovery is \
          paid for in time — matmul clean: {:.3}s — and in the retransmission \
          counters above, with the RTO tracking each peer's observed RTT)",
         clean_elapsed.as_secs_f64()

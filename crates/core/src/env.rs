@@ -32,7 +32,7 @@ use ncs_sim::{
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use crate::addr::{decode_tag, encode_tag, MsgClass, ThreadAddr};
 
@@ -94,6 +94,21 @@ pub struct NcsConfig {
     /// every CS-PDU under the AAL5 65 535-byte ceiling (a >64 KiB send used
     /// to die in the adaptation layer; now it is designed behavior).
     pub io_buffer_bytes: usize,
+    /// Graceful degradation: at most this many retransmissions may sit in
+    /// the send queue at once. A timer that fires while the queue is at the
+    /// cap defers (backing the RTO off and counting `retx.backpressure`)
+    /// instead of queueing — under sustained loss the retransmit backlog
+    /// stays bounded rather than growing without limit.
+    pub retx_queue_cap: usize,
+    /// Receiver-side reclamation: a partial chunk-reassembly buffer that
+    /// sees no new chunk for this long is dropped and its memory reclaimed
+    /// (a crash-stopped sender must not leak receiver buffers forever).
+    /// Must be set comfortably above the sender's give-up horizon
+    /// (`max_retries` × max RTO): chunks are acknowledged individually, so
+    /// reclaiming a transfer whose sender is still retrying would lose the
+    /// already-acknowledged bytes silently. `None` (the default) disables
+    /// reclamation.
+    pub reassembly_timeout: Option<Dur>,
     /// Runtime analysis pass: deadlock / lost-wakeup detection in the
     /// scheduler plus protocol conservation checks (credits, sequence
     /// numbers, retry budgets) in the system threads. Off by default; an
@@ -132,11 +147,19 @@ impl Default for RtoConfig {
 
 impl RtoConfig {
     /// A config whose three parameters scale from one base timeout:
-    /// `initial = base`, `min = base / 4`, `max = base × 16`. Convenient
-    /// for tests and experiments that used to set a single fixed timeout.
+    /// `initial = base × 16` (= `max`), `min = base / 4`, `max = base ×
+    /// 16`. Convenient for tests and experiments that used to set a single
+    /// fixed timeout.
+    ///
+    /// The pre-sample timeout is deliberately the *ceiling*, not the base:
+    /// until the first RTT measurement exists there is nothing to justify
+    /// an aggressive timer, and an `initial` below the real path RTT
+    /// guarantees a spurious retransmission of the very first frame (RFC
+    /// 6298 makes the same call with its 1-second initial RTO). Jacobson's
+    /// estimator pulls the timeout down as soon as the first ACK lands.
     pub fn from_base(base: Dur) -> RtoConfig {
         RtoConfig {
-            initial: base,
+            initial: base.times(16),
             min: Dur::from_ps((base.as_ps() / 4).max(1)),
             max: base.times(16),
         }
@@ -157,6 +180,8 @@ impl Default for NcsConfig {
             max_retries: 8,
             io_buffers: 4,
             io_buffer_bytes: 16 * 1024,
+            retx_queue_cap: 256,
+            reassembly_timeout: None,
             analysis: AnalysisConfig::off(),
         }
     }
@@ -267,6 +292,17 @@ struct MpsState {
     /// Destinations whose retry budget was exhausted: sends to them fail
     /// fast with [`EXC_DELIVERY_FAILED`] instead of queueing.
     dead_peers: BTreeSet<usize>,
+    /// Destinations behind a detected partition (every link on the route
+    /// down): sends fail fast like `dead_peers`, but the mark is dropped —
+    /// and the credit window re-seeded — the moment a fresh send finds the
+    /// route up again (recovery after a flap window ends).
+    partitioned_peers: BTreeSet<usize>,
+    /// One loss-recovery timer per destination with frames in flight,
+    /// timing the *oldest* unacknowledged frame (TCP-style). Restarted on
+    /// partial acknowledgment, retracted when the last frame is acked.
+    retx_timers: BTreeMap<usize, RetxTimer>,
+    /// Monotonic allocator for [`RetxTimer::epoch`].
+    timer_epoch: u64,
     /// Statistics: timeout-driven backoff doublings.
     backoff_events: u64,
     /// Statistics: clean RTT samples folded into an estimator.
@@ -283,6 +319,26 @@ struct MpsState {
     fragments_sent: u64,
     /// Statistics: chunked transfers reassembled to completion.
     reassembled_msgs: u64,
+    /// Statistics: acknowledgments that arrived for frames already
+    /// retransmitted — each one means the (re)transmission may have been
+    /// unnecessary (`retx.spurious`).
+    spurious_retx: u64,
+    /// Statistics: partition fail-fast events (`rto.partition_failfast`).
+    partition_failfasts: u64,
+    /// Statistics: retransmissions deferred by the bounded queue
+    /// (`retx.backpressure`).
+    retx_deferred: u64,
+    /// Statistics: partial reassembly buffers reclaimed by timeout
+    /// (`reasm.reclaimed`).
+    reassembly_reclaimed: u64,
+}
+
+/// One armed per-destination loss-recovery timer.
+struct RetxTimer {
+    handle: TimerHandle,
+    /// Guards against a stale firing racing a restart: a fired callback
+    /// whose epoch no longer matches the armed timer's is ignored.
+    epoch: u64,
 }
 
 /// Serial-number comparison (RFC 1982 style): is `a` strictly ahead of `b`
@@ -341,6 +397,11 @@ struct FragAsm {
     total: u32,
     parts: Vec<Option<Bytes>>,
     have: u32,
+    /// When the last chunk was accepted (drives timeout reclamation).
+    last_progress: SimTime,
+    /// The armed reclamation timer, if [`NcsConfig::reassembly_timeout`]
+    /// is set; retracted when the transfer completes.
+    reaper: Option<TimerHandle>,
 }
 
 /// Jacobson/Karn RTT estimation state for one destination.
@@ -401,10 +462,6 @@ struct UnackedMsg {
     /// The frame has been retransmitted at least once; Karn's rule bars
     /// its ACK from RTT sampling (the echo is ambiguous).
     retransmitted: bool,
-    /// The armed loss-recovery timer, retracted from the kernel queue when
-    /// the frame is acknowledged (or purged with a dead peer) so stale
-    /// timers never fire as no-op events.
-    timer: Option<TimerHandle>,
 }
 
 struct UserThread {
@@ -429,6 +486,10 @@ struct ProcInner {
     /// Exceptions received before a handler was installed, or kept for
     /// polling-style consumers.
     pending_exceptions: Mutex<Vec<NcsException>>,
+    /// Collective termination barrier shared by all processes of one
+    /// [`crate::NcsWorld`]; `None` for a standalone process, which tears
+    /// down at local quiescence as before.
+    term: Option<Arc<TermBarrier>>,
 }
 
 /// Callback invoked for incoming exceptions.
@@ -437,7 +498,7 @@ pub type ExceptionHandler = Box<dyn Fn(&NcsException) + Send + 'static>;
 /// Error-control statistics for one process (the FaultStats surface of the
 /// reliability layer): aggregate counters plus the current per-destination
 /// RTO trajectory.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ErrorStats {
     /// Frames retransmitted (timeout- and NACK-driven).
     pub retransmits: u64,
@@ -450,6 +511,20 @@ pub struct ErrorStats {
     /// Duplicate frames re-ACKed but not delivered (retransmissions whose
     /// original already arrived — i.e. the ACK, not the data, was lost).
     pub duplicates_suppressed: u64,
+    /// Acknowledgments that arrived for frames already retransmitted
+    /// (each marks a possibly-unnecessary retransmission; the
+    /// `retx.spurious` counter).
+    pub spurious_retransmits: u64,
+    /// Partition fail-fast events: a loss-recovery timer found every route
+    /// to the peer down and failed its outstanding frames immediately
+    /// (the `rto.partition_failfast` counter).
+    pub partition_failfasts: u64,
+    /// Retransmissions deferred by the bounded retransmit queue
+    /// (the `retx.backpressure` counter).
+    pub retx_deferred: u64,
+    /// Partial reassembly buffers reclaimed by timeout
+    /// (the `reasm.reclaimed` counter).
+    pub reassembly_reclaimed: u64,
     /// Destinations declared dead (retry budget exhausted).
     pub dead_peers: Vec<usize>,
     /// Per-destination estimator snapshot, sorted by peer id.
@@ -457,7 +532,7 @@ pub struct ErrorStats {
 }
 
 /// One destination's RTT/RTO estimate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PeerRto {
     /// Destination process id.
     pub peer: usize,
@@ -503,6 +578,100 @@ struct SysThreads {
     recv: Option<MtsTid>,
 }
 
+/// Collective-termination barrier: `NCS_end` is a collective operation, so
+/// a process that is locally quiescent (user threads done, every outgoing
+/// frame acknowledged or abandoned) must not tear down its receive
+/// machinery while a peer may still be retransmitting a frame whose
+/// acknowledgment was lost on the wire — the sender would burn its whole
+/// retry budget against a deaf host and spuriously declare it dead. Each
+/// process instead signals quiescence here and lingers, re-ACKing
+/// duplicates; only when the whole world is quiescent (no frame anywhere
+/// is outstanding, so no retransmission can ever arrive again) are the
+/// merged channels closed and the lingering system threads released. The
+/// message-passing analogue of TCP's TIME-WAIT, with the world-wide
+/// quiescence fact standing in for the 2·MSL clock.
+pub(crate) struct TermBarrier {
+    state: Mutex<TermState>,
+}
+
+struct TermState {
+    /// Which processes have signalled local quiescence (idempotence: a
+    /// process re-signals when a late duplicate re-empties its tables).
+    ready: Vec<bool>,
+    /// Processes still running.
+    remaining: usize,
+    /// Weak backrefs used to release every process once the last one
+    /// arrives (weak: the barrier must not keep a dropped world alive).
+    procs: Vec<Weak<ProcInner>>,
+    complete: bool,
+}
+
+impl TermBarrier {
+    pub(crate) fn new(n: usize) -> Arc<TermBarrier> {
+        Arc::new(TermBarrier {
+            state: Mutex::new(TermState {
+                ready: vec![false; n],
+                remaining: n,
+                procs: Vec::with_capacity(n),
+                complete: false,
+            }),
+        })
+    }
+
+    fn register(&self, inner: &Arc<ProcInner>) {
+        self.state.lock().procs.push(Arc::downgrade(inner));
+    }
+
+    fn complete(&self) -> bool {
+        self.state.lock().complete
+    }
+
+    /// Marks process `id` locally quiescent. The last arrival closes every
+    /// process's merged channel (ending the receive threads' kernel waits)
+    /// and wakes every send thread so it can observe completion and exit.
+    fn proc_ready(&self, id: usize) {
+        let released = {
+            let mut st = self.state.lock();
+            if st.complete || st.ready[id] {
+                return;
+            }
+            st.ready[id] = true;
+            st.remaining -= 1;
+            if st.remaining > 0 {
+                return;
+            }
+            st.complete = true;
+            std::mem::take(&mut st.procs)
+        };
+        for w in released {
+            let Some(p) = w.upgrade() else { continue };
+            p.merged.close(&p.sim);
+            let send = p.sys.lock().send;
+            if let Some(tid) = send {
+                p.mts.unblock(&p.sim, tid);
+            }
+        }
+    }
+}
+
+/// The process has just become locally quiescent (shutdown requested and
+/// no outstanding unacknowledged frame). Standalone processes tear down
+/// immediately; collective ones linger at the termination barrier.
+fn signal_quiescent(inner: &Arc<ProcInner>) {
+    match &inner.term {
+        None => inner.merged.close(&inner.sim),
+        Some(t) => t.proc_ready(inner.id),
+    }
+}
+
+/// Whether a system thread may exit: the process is locally quiescent
+/// and, when part of a collective, the whole world is too.
+fn may_teardown(inner: &ProcInner, st: &MpsState) -> bool {
+    st.shutdown
+        && st.unacked.is_empty()
+        && inner.term.as_ref().is_none_or(|t| t.complete())
+}
+
 /// Handle to one NCS process.
 #[derive(Clone)]
 pub struct NcsProc {
@@ -527,6 +696,32 @@ impl NcsProc {
         n: usize,
         nets: Vec<Arc<dyn Network>>,
         cfg: NcsConfig,
+    ) -> NcsProc {
+        Self::init_inner(sim, id, n, nets, cfg, None)
+    }
+
+    /// `NCS_init` for a process belonging to a collective computation:
+    /// identical to [`NcsProc::init`], except the process lingers at the
+    /// shared [`TermBarrier`] after local quiescence so late
+    /// retransmissions from slower peers still find a live receiver.
+    pub(crate) fn init_collective(
+        sim: &Sim,
+        id: usize,
+        n: usize,
+        nets: Vec<Arc<dyn Network>>,
+        cfg: NcsConfig,
+        term: &Arc<TermBarrier>,
+    ) -> NcsProc {
+        Self::init_inner(sim, id, n, nets, cfg, Some(Arc::clone(term)))
+    }
+
+    fn init_inner(
+        sim: &Sim,
+        id: usize,
+        n: usize,
+        nets: Vec<Arc<dyn Network>>,
+        cfg: NcsConfig,
+        term: Option<Arc<TermBarrier>>,
     ) -> NcsProc {
         assert!(!nets.is_empty(), "need at least one transport tier");
         for net in &nets {
@@ -570,6 +765,9 @@ impl NcsProc {
                 seen_seqs: BTreeMap::new(),
                 rtt: BTreeMap::new(),
                 dead_peers: BTreeSet::new(),
+                partitioned_peers: BTreeSet::new(),
+                retx_timers: BTreeMap::new(),
+                timer_epoch: 0,
                 backoff_events: 0,
                 rtt_samples: 0,
                 delivery_failures: 0,
@@ -577,12 +775,20 @@ impl NcsProc {
                 fragmented_msgs: 0,
                 fragments_sent: 0,
                 reassembled_msgs: 0,
+                spurious_retx: 0,
+                partition_failfasts: 0,
+                retx_deferred: 0,
+                reassembly_reclaimed: 0,
             }),
             sys: Mutex::new(SysThreads::default()),
             users: Mutex::new(Vec::new()),
             exception_handler: Mutex::new(None),
             pending_exceptions: Mutex::new(Vec::new()),
+            term,
         });
+        if let Some(t) = &inner.term {
+            t.register(&inner);
+        }
         let proc_ = NcsProc { inner };
         proc_.spawn_forwarders();
         proc_.spawn_system_threads();
@@ -707,16 +913,18 @@ impl NcsProc {
             st.shutdown = true;
             st.unacked.is_empty()
         };
-        // Wake the send thread so it can drain and exit; close the merged
-        // channel so the receive thread's kernel wait ends. With error
-        // control active, the close waits for the last acknowledgment
-        // (see `ingest`), since retransmissions may still be needed.
+        // Wake the send thread so it can drain and exit; signal quiescence
+        // so the receive thread's kernel wait can end. With error control
+        // active, the signal waits for the last acknowledgment (see
+        // `ingest`), since retransmissions may still be needed; in a
+        // collective world the process additionally lingers at the
+        // termination barrier until *every* peer is quiescent (TIME-WAIT).
         let send = self.inner.sys.lock().send;
         if let Some(tid) = send {
             self.inner.mts.unblock(&self.inner.sim, tid);
         }
         if can_close {
-            self.inner.merged.close(&self.inner.sim);
+            signal_quiescent(&self.inner);
         }
     }
 
@@ -774,6 +982,10 @@ impl NcsProc {
             rtt_samples: st.rtt_samples,
             delivery_failures: st.delivery_failures,
             duplicates_suppressed: st.dup_suppressed,
+            spurious_retransmits: st.spurious_retx,
+            partition_failfasts: st.partition_failfasts,
+            retx_deferred: st.retx_deferred,
+            reassembly_reclaimed: st.reassembly_reclaimed,
             dead_peers: dead,
             peers,
         }
@@ -782,6 +994,20 @@ impl NcsProc {
     /// Whether error control has declared `peer` dead (sends fail fast).
     pub fn is_peer_dead(&self, peer: usize) -> bool {
         self.inner.state.lock().dead_peers.contains(&peer)
+    }
+
+    /// Whether error control currently holds `peer` behind a detected
+    /// partition (fail-fast, but recoverable: the mark drops as soon as a
+    /// fresh send finds the route up again).
+    pub fn is_peer_partitioned(&self, peer: usize) -> bool {
+        self.inner.state.lock().partitioned_peers.contains(&peer)
+    }
+
+    /// Partial chunk-reassembly buffers currently held (receive side of
+    /// the pipelined data path) — zero after a clean run, and zero again
+    /// after timeout reclamation of a crash-stopped sender's leftovers.
+    pub fn reassembly_backlog(&self) -> usize {
+        self.inner.state.lock().reassembly.len()
     }
 
     /// High-water mark of messages buffered in this process awaiting a
@@ -1336,104 +1562,183 @@ fn current_rto(st: &MpsState, cfg: &RtoConfig, dst: usize) -> Dur {
     st.rtt.get(&dst).copied().unwrap_or_default().rto(cfg)
 }
 
-/// Arms (or re-arms) the loss-recovery timer for one unacknowledged frame,
-/// using the destination's current adaptive RTO.
-fn arm_retx_timer(inner: &Arc<ProcInner>, dst: usize, seq: u32) {
-    let timeout = {
-        let st = inner.state.lock();
-        current_rto(&st, &inner.cfg.rto, dst)
+/// (Re)arms the per-destination loss-recovery timer at `now + RTO(dst)`,
+/// replacing any armed one. One timer per destination, TCP-style, timing
+/// the **oldest** frame on the wire: restarted on every partial
+/// acknowledgment (so under deep pipelining a later frame's queueing delay
+/// behind its siblings never counts against its own timeout) and after
+/// each timer-driven retransmission (with the backed-off RTO).
+fn restart_retx_timer(inner: &Arc<ProcInner>, dst: usize) {
+    let (timeout, epoch) = {
+        let mut st = inner.state.lock();
+        st.timer_epoch += 1;
+        (current_rto(&st, &inner.cfg.rto, dst), st.timer_epoch)
     };
     let sim = inner.sim.clone();
     let cb_inner = Arc::clone(inner);
     let handle = sim.schedule_cancellable(sim.now() + timeout, move |sim| {
-        retx_fire(&cb_inner, sim, dst, seq);
+        retx_fire(&cb_inner, sim, dst, epoch);
     });
-    // Park the handle on the frame so acknowledgement retracts the timer
-    // from the kernel queue instead of letting it fire as a stale no-op.
-    if let Some(u) = inner.state.lock().unacked.get_mut(&(dst, seq)) {
-        u.timer = Some(handle);
-    } else {
-        // Frame vanished between scheduling and bookkeeping (defensive;
-        // the baton protocol makes this unreachable): retract immediately.
-        sim.cancel_scheduled(handle);
+    let mut st = inner.state.lock();
+    if let Some(old) = st.retx_timers.insert(dst, RetxTimer { handle, epoch }) {
+        // Replaced: retract the superseded timer from the kernel queue
+        // rather than letting it fire as a stale no-op event.
+        inner.sim.cancel_scheduled(old.handle);
     }
 }
 
-/// Timer expiry: retransmit (with exponential RTO backoff) if still
-/// unacknowledged; after the retry budget, declare the peer dead, fail
-/// every outstanding frame toward it, and raise delivery-failure
-/// exceptions — a send to a crashed node must not hang the scheduler.
-fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
+/// Arms the destination's loss-recovery timer only if none is armed —
+/// the path for first transmissions: frame N+1 joining an already-timed
+/// pipeline must not push frame N's deadline out.
+fn ensure_retx_timer(inner: &Arc<ProcInner>, dst: usize) {
+    {
+        let st = inner.state.lock();
+        let outstanding = st.unacked.keys().any(|&(d, _)| d == dst);
+        if st.retx_timers.contains_key(&dst) || !outstanding {
+            return;
+        }
+    }
+    restart_retx_timer(inner, dst);
+}
+
+/// Retracts the destination's loss-recovery timer (last frame acked, or
+/// outstanding frames purged).
+fn cancel_retx_timer(inner: &ProcInner, st: &mut MpsState, dst: usize) {
+    if let Some(t) = st.retx_timers.remove(&dst) {
+        inner.sim.cancel_scheduled(t.handle);
+    }
+}
+
+/// Purges every outstanding frame toward `dst`, returning the
+/// `(endpoint, tag)` pairs to raise [`EXC_DELIVERY_FAILED`] for, and
+/// unwedges a send thread parked on the peer's credits or I/O buffers.
+fn purge_unacked(inner: &ProcInner, st: &mut MpsState, dst: usize) -> Vec<(ThreadAddr, u32)> {
+    let keys: Vec<(usize, u32)> = st
+        .unacked
+        .keys()
+        .filter(|&&(d, _)| d == dst)
+        .copied()
+        .collect();
+    let mut failed = Vec::with_capacity(keys.len());
+    for k in keys {
+        let u = st.unacked.remove(&k).expect("key just listed");
+        failed.push((u.to, u.user_tag));
+    }
+    st.delivery_failures += failed.len() as u64;
+    cancel_retx_timer(inner, st, dst);
+    if st.send_waiting_credit == Some(dst) {
+        st.send_waiting_credit = None;
+    }
+    if st.send_waiting_ack == Some(dst) {
+        st.send_waiting_ack = None;
+    }
+    failed
+}
+
+/// Expiry of a destination's loss-recovery timer: the oldest frame on the
+/// wire toward `dst` has gone a full RTO unacknowledged. Retransmit it
+/// (with exponential RTO backoff), unless the retransmit queue is at its
+/// cap (defer, with backpressure accounting), every route to the peer is
+/// down (fail all outstanding frames fast — a partition should cost one
+/// RTO, not a `max_retries` backoff crawl), or the retry budget is spent
+/// (declare the peer dead) — a send to a crashed node must not hang the
+/// scheduler.
+fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, epoch: u64) {
     enum Action {
         Done,
         Retry,
-        GiveUp(Vec<(ThreadAddr, u32)>),
+        Deferred,
+        /// `true`: the peer is permanently dead (budget exhausted);
+        /// `false`: partition fail-fast, recoverable when the route heals.
+        Failed(Vec<(ThreadAddr, u32)>, bool),
     }
     let action = {
         let mut st = inner.state.lock();
-        match st.unacked.get_mut(&(dst, seq)) {
-            None => Action::Done, // acknowledged in the meantime
-            Some(u) if u.retries >= inner.cfg.max_retries => {
-                st.dead_peers.insert(dst);
-                let keys: Vec<(usize, u32)> = st
-                    .unacked
-                    .keys()
-                    .filter(|&&(d, _)| d == dst)
-                    .copied()
-                    .collect();
-                let mut failed = Vec::with_capacity(keys.len());
-                for k in keys {
-                    let u = st.unacked.remove(&k).expect("key just listed");
-                    // Retract the siblings' timers; the one that just fired
-                    // holds a spent handle, for which cancel is a no-op.
-                    if let Some(h) = u.timer {
-                        inner.sim.cancel_scheduled(h);
+        // Superseded by a restart (a partial ack landed after this firing
+        // was already dequeued): the newer timer owns loss recovery now.
+        if st.retx_timers.get(&dst).map(|t| t.epoch) != Some(epoch) {
+            return;
+        }
+        st.retx_timers.remove(&dst);
+        // The timer times the oldest frame actually transmitted. Frames
+        // still queued locally (`sent_at == None`) have not started their
+        // clock — a queued frame never inherits a stale send-time.
+        let oldest = st
+            .unacked
+            .iter()
+            .filter(|((d, _), u)| *d == dst && u.sent_at.is_some())
+            .min_by_key(|(_, u)| u.sent_at)
+            .map(|(&(_, s), u)| (s, u.tier, u.retries));
+        match oldest {
+            None => Action::Done, // everything acknowledged meanwhile
+            Some((seq, tier, retries)) => {
+                let unreachable = inner.nets[tier].peer_unreachable(
+                    NodeId(inner.id as u32),
+                    NodeId(dst as u32),
+                    sim.now(),
+                );
+                if unreachable {
+                    // Partition: every route to the peer is inside an
+                    // outage window right now; retrying into it burns the
+                    // budget for nothing. Fail the outstanding frames with
+                    // typed exceptions, but do NOT declare the peer dead —
+                    // when the outage ends, fresh sends recover.
+                    st.partitioned_peers.insert(dst);
+                    st.partition_failfasts += 1;
+                    let failed = purge_unacked(inner, &mut st, dst);
+                    Action::Failed(failed, false)
+                } else if retries >= inner.cfg.max_retries {
+                    st.dead_peers.insert(dst);
+                    let failed = purge_unacked(inner, &mut st, dst);
+                    Action::Failed(failed, true)
+                } else if st.send_q.iter().filter(|r| r.prewrapped).count()
+                    >= inner.cfg.retx_queue_cap.max(1)
+                {
+                    // Bounded retransmit queue: the send thread is already
+                    // drowning in queued retransmissions. Defer this one —
+                    // back the RTO off and let the re-armed timer retry —
+                    // so memory stays bounded under sustained faults.
+                    st.retx_deferred += 1;
+                    st.backoff_events += 1;
+                    st.rtt.entry(dst).or_default().backoff_exp += 1;
+                    Action::Deferred
+                } else {
+                    let u = st.unacked.get_mut(&(dst, seq)).expect("key just found");
+                    u.retries += 1;
+                    u.retransmitted = true; // Karn: its ACK is now ambiguous
+                    // Budget accounting: the give-up branch above must fire
+                    // before a frame can exceed its configured retry budget.
+                    if inner.cfg.analysis.active() && u.retries > inner.cfg.max_retries {
+                        inner.cfg.analysis.report(
+                            "retransmit-budget",
+                            format!("proc{}", inner.id),
+                            format!(
+                                "frame (proc{dst}, seq {seq}) at {} retries exceeds budget {}",
+                                u.retries, inner.cfg.max_retries
+                            ),
+                        );
                     }
-                    failed.push((u.to, u.user_tag));
+                    let req = SendReq {
+                        from_thread: u.from_thread,
+                        to: u.to,
+                        // A retransmitted chunk must still carry its
+                        // original class so the receiver routes it into
+                        // reassembly.
+                        class: u.class,
+                        user_tag: u.user_tag,
+                        data: u.wrapped.clone(),
+                        tier: u.tier,
+                        waiter: None,
+                        prewrapped: true,
+                        seq: None,
+                        causal: 0,
+                    };
+                    st.retransmits += 1;
+                    st.backoff_events += 1;
+                    st.rtt.entry(dst).or_default().backoff_exp += 1;
+                    st.send_q.push_back(req);
+                    Action::Retry
                 }
-                st.delivery_failures += failed.len() as u64;
-                if st.send_waiting_credit == Some(dst) {
-                    st.send_waiting_credit = None;
-                }
-                if st.send_waiting_ack == Some(dst) {
-                    st.send_waiting_ack = None;
-                }
-                Action::GiveUp(failed)
-            }
-            Some(u) => {
-                u.retries += 1;
-                u.retransmitted = true; // Karn: its ACK is now ambiguous
-                // Budget accounting: the give-up branch above must fire
-                // before a frame can exceed its configured retry budget.
-                if inner.cfg.analysis.active() && u.retries > inner.cfg.max_retries {
-                    inner.cfg.analysis.report(
-                        "retransmit-budget",
-                        format!("proc{}", inner.id),
-                        format!(
-                            "frame (proc{dst}, seq {seq}) at {} retries exceeds budget {}",
-                            u.retries, inner.cfg.max_retries
-                        ),
-                    );
-                }
-                let req = SendReq {
-                    from_thread: u.from_thread,
-                    to: u.to,
-                    // A retransmitted chunk must still carry its original
-                    // class so the receiver routes it into reassembly.
-                    class: u.class,
-                    user_tag: u.user_tag,
-                    data: u.wrapped.clone(),
-                    tier: u.tier,
-                    waiter: None,
-                    prewrapped: true,
-                    seq: None,
-                    causal: 0,
-                };
-                st.retransmits += 1;
-                st.backoff_events += 1;
-                st.rtt.entry(dst).or_default().backoff_exp += 1;
-                st.send_q.push_back(req);
-                Action::Retry
             }
         }
     };
@@ -1444,9 +1749,17 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 inner.mts.unblock(sim, tid);
             }
             // Re-arm with the doubled timeout.
-            arm_retx_timer(inner, dst, seq);
+            restart_retx_timer(inner, dst);
         }
-        Action::GiveUp(failed) => {
+        Action::Deferred => {
+            inner.sim.with_metrics(|mm| mm.inc("retx.backpressure", 1));
+            // Re-arm with the doubled timeout; the queue drains meanwhile.
+            restart_retx_timer(inner, dst);
+        }
+        Action::Failed(failed, permanent) => {
+            if !permanent {
+                inner.sim.with_metrics(|mm| mm.inc("rto.partition_failfast", 1));
+            }
             for (to, tag) in failed {
                 raise_local_exception(
                     inner,
@@ -1458,7 +1771,7 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 );
             }
             // Wake the send thread unconditionally: it may be parked on
-            // credits for the dead peer, or draining for shutdown.
+            // credits for the unreachable peer, or draining for shutdown.
             if let Some(tid) = inner.sys.lock().send {
                 inner.mts.unblock(sim, tid);
             }
@@ -1467,7 +1780,7 @@ fn retx_fire(inner: &Arc<ProcInner>, sim: &Sim, dst: usize, seq: u32) {
                 (st.unacked.is_empty(), st.shutdown)
             };
             if empty && shutdown {
-                inner.merged.close(sim);
+                signal_quiescent(inner);
             }
         }
     }
@@ -1518,7 +1831,6 @@ fn register_unacked(inner: &Arc<ProcInner>, st: &mut MpsState, req: &SendReq) ->
             retries: 0,
             sent_at: None,
             retransmitted: false,
-            timer: None,
         },
     );
     (seq, wrapped)
@@ -1600,8 +1912,9 @@ fn transmit_one(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
         tag,
         req.data,
     );
-    // First transmission of a checked frame: stamp the RTT clock and arm
-    // the loss-recovery timer with the destination's current RTO.
+    // First transmission of a checked frame: stamp the RTT clock — at the
+    // instant the frame actually hits the wire, never at queue time — and
+    // make sure the destination's loss-recovery timer is running.
     // Retransmissions are re-armed by `retx_fire` itself.
     if let Some(seq) = req.seq {
         {
@@ -1612,7 +1925,7 @@ fn transmit_one(inner: &Arc<ProcInner>, m: &MtsCtx, req: SendReq) {
                 }
             }
         }
-        arm_retx_timer(inner, dst.proc, seq);
+        ensure_retx_timer(inner, dst.proc);
     }
     if req.class == MsgClass::Data {
         inner.state.lock().sent_msgs += 1;
@@ -1643,9 +1956,14 @@ fn drain_control(inner: &Arc<ProcInner>, m: &MtsCtx) -> bool {
             pos.and_then(|i| st.send_q.remove(i))
         };
         let Some(req) = req else { break };
-        // A retransmission toward a peer declared dead mid-queue is dropped
-        // silently: the give-up purge already raised its exception.
-        if req.prewrapped && inner.state.lock().dead_peers.contains(&req.to.proc) {
+        // A retransmission toward a peer declared dead (or partitioned)
+        // mid-queue is dropped silently: the purge already raised its
+        // exception.
+        if req.prewrapped && {
+            let st = inner.state.lock();
+            st.dead_peers.contains(&req.to.proc)
+                || st.partitioned_peers.contains(&req.to.proc)
+        } {
             continue;
         }
         transmit_one(inner, m, req);
@@ -1669,9 +1987,10 @@ fn acquire_send_credit(inner: &Arc<ProcInner>, m: &MtsCtx, dst: usize) -> bool {
     loop {
         let gate = {
             let mut st = inner.state.lock();
-            if st.dead_peers.contains(&dst) {
-                // The retry path declared the peer dead while we were
-                // parked; credits will never arrive.
+            if st.dead_peers.contains(&dst) || st.partitioned_peers.contains(&dst) {
+                // The retry path declared the peer dead (or the partition
+                // detector cut it off) while we were parked; credits will
+                // never arrive.
                 st.send_waiting_credit = None;
                 Gate::Dead
             } else {
@@ -1722,7 +2041,7 @@ fn wait_for_io_buffer(inner: &Arc<ProcInner>, m: &MtsCtx, dst: usize, window: us
     loop {
         let gate = {
             let mut st = inner.state.lock();
-            if st.dead_peers.contains(&dst) {
+            if st.dead_peers.contains(&dst) || st.partitioned_peers.contains(&dst) {
                 st.send_waiting_ack = None;
                 Gate::Dead
             } else if st.unacked.keys().filter(|&&(d, _)| d == dst).count() < window {
@@ -1841,7 +2160,7 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             match st.send_q.pop_front() {
                 Some(r) => Some(r),
                 None => {
-                    if st.shutdown && st.unacked.is_empty() {
+                    if may_teardown(inner, &st) {
                         break;
                     }
                     None
@@ -1878,6 +2197,44 @@ fn send_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
                 m.unblock(w);
             }
             continue;
+        }
+        // A destination behind a detected partition: probe the route. If
+        // the outage window has ended, drop the mark and proceed — this is
+        // the recovery path — re-seeding the credit window, since the
+        // frames that spent credits were purged and the peer can never
+        // grant them back. Otherwise fail fast with the same typed
+        // exception the partition purge used.
+        if matches!(req.class, MsgClass::Data | MsgClass::Frag)
+            && inner.state.lock().partitioned_peers.contains(&req.to.proc)
+        {
+            let reachable = !inner.nets[req.tier].peer_unreachable(
+                NodeId(inner.id as u32),
+                NodeId(req.to.proc as u32),
+                m.ctx().now(),
+            );
+            if reachable {
+                let mut st = inner.state.lock();
+                st.partitioned_peers.remove(&req.to.proc);
+                if let FlowControl::Credit { window } = inner.cfg.flow {
+                    st.credits.insert(req.to.proc, window);
+                }
+            } else {
+                if !req.prewrapped {
+                    raise_local_exception(
+                        inner,
+                        NcsException {
+                            from: req.to,
+                            code: EXC_DELIVERY_FAILED,
+                            detail: Bytes::from(req.user_tag.to_le_bytes().to_vec()),
+                        },
+                    );
+                    inner.state.lock().delivery_failures += 1;
+                }
+                if let Some(w) = req.waiter {
+                    m.unblock(w);
+                }
+                continue;
+            }
         }
         // Approach 2: a data message wider than one I/O buffer goes out
         // chunked, with multiple buffer-sized CS-PDUs in flight.
@@ -1951,10 +2308,13 @@ fn recv_thread_body(inner: &Arc<ProcInner>, m: &MtsCtx) {
             continue;
         }
         {
-            // Exit only when the process is done AND error control has no
-            // outstanding frames that might still need retransmission.
+            // Exit only when the process is done, error control has no
+            // outstanding frames that might still need retransmission,
+            // and (in a collective) every peer is equally quiescent — a
+            // lingering receiver keeps re-ACKing duplicates for peers
+            // whose final acknowledgment was lost.
             let st = inner.state.lock();
-            if st.shutdown && st.unacked.is_empty() && inner.merged.is_empty() {
+            if may_teardown(inner, &st) && inner.merged.is_empty() {
                 break;
             }
         }
@@ -2079,12 +2439,16 @@ fn ingest_fragment(
     }
     let key = (from.proc, xfer);
     let mut mismatch = None;
+    let arm_reaper;
     let complete = {
+        let now = inner.sim.now();
         let mut st = inner.state.lock();
         let slot = st.reassembly.entry(key).or_insert_with(|| FragAsm {
             total,
             parts: vec![None; total as usize],
             have: 0,
+            last_progress: now,
+            reaper: None,
         });
         let done = if slot.total != total {
             mismatch = Some(slot.total);
@@ -2096,10 +2460,21 @@ fn ingest_fragment(
         } else {
             slot.parts[idx as usize] = Some(payload.slice(FRAG_HEADER_BYTES..));
             slot.have += 1;
+            slot.last_progress = now;
             slot.have == slot.total
         };
+        // First chunk of a transfer with reclamation enabled: arm the
+        // reaper once the lock is released. (It lazily re-checks progress
+        // on expiry, so per-chunk re-arming is unnecessary.)
+        arm_reaper =
+            !done && slot.reaper.is_none() && inner.cfg.reassembly_timeout.is_some();
         if done {
             let asm = st.reassembly.remove(&key).expect("entry just completed");
+            // The transfer is whole: the reclamation timer is dead weight
+            // in the kernel queue — retract it.
+            if let Some(h) = asm.reaper {
+                inner.sim.cancel_scheduled(h);
+            }
             let mut v = Vec::with_capacity(
                 asm.parts.iter().map(|p| p.as_ref().map_or(0, Bytes::len)).sum(),
             );
@@ -2128,8 +2503,69 @@ fn ingest_fragment(
             "transfer {xfer} declares {total} chunks, earlier chunks declared {expected}"
         ));
     }
+    if arm_reaper {
+        arm_reassembly_reaper(inner, key);
+    }
     if complete {
         grant_credit(inner, tier, from.proc);
+    }
+}
+
+/// Arms the reclamation timer for one partial reassembly buffer at
+/// `last_progress + reassembly_timeout`. The expiry re-checks progress, so
+/// chunks landing meanwhile simply push the deadline out.
+fn arm_reassembly_reaper(inner: &Arc<ProcInner>, key: (usize, u32)) {
+    let Some(timeout) = inner.cfg.reassembly_timeout else {
+        return;
+    };
+    let deadline = {
+        let st = inner.state.lock();
+        match st.reassembly.get(&key) {
+            Some(asm) => asm.last_progress + timeout,
+            None => return, // completed (or reclaimed) meanwhile
+        }
+    };
+    let sim = inner.sim.clone();
+    let cb_inner = Arc::clone(inner);
+    let handle = sim.schedule_cancellable(deadline, move |sim| {
+        reasm_reaper_fire(&cb_inner, sim, key);
+    });
+    let mut st = inner.state.lock();
+    match st.reassembly.get_mut(&key) {
+        Some(asm) => {
+            if let Some(old) = asm.reaper.replace(handle) {
+                inner.sim.cancel_scheduled(old);
+            }
+        }
+        None => {
+            // Completed (or reclaimed) meanwhile: retract the fresh timer.
+            sim.cancel_scheduled(handle);
+        }
+    }
+}
+
+/// Expiry of a reassembly reclamation timer: if the transfer has seen no
+/// chunk for a full `reassembly_timeout`, its sender is gone (crash-stop,
+/// give-up) — drop the partial buffers so receiver memory is not leaked;
+/// otherwise re-arm from the latest progress.
+fn reasm_reaper_fire(inner: &Arc<ProcInner>, sim: &Sim, key: (usize, u32)) {
+    let timeout = inner.cfg.reassembly_timeout.expect("reaper only armed when set");
+    let reclaimed = {
+        let mut st = inner.state.lock();
+        match st.reassembly.get(&key) {
+            None => return, // completed meanwhile
+            Some(asm) if sim.now().saturating_since(asm.last_progress) >= timeout => {
+                st.reassembly.remove(&key);
+                st.reassembly_reclaimed += 1;
+                true
+            }
+            Some(_) => false,
+        }
+    };
+    if reclaimed {
+        inner.sim.with_metrics(|mm| mm.inc("reasm.reclaimed", 1));
+    } else {
+        arm_reassembly_reaper(inner, key);
     }
 }
 
@@ -2200,6 +2636,8 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
     match class {
         MsgClass::Ack => {
             let seq = user_tag;
+            let mut spurious = false;
+            let mut restart = false;
             let (wake_send, empty_after, shutdown) = {
                 let mut st = inner.state.lock();
                 // Monotonicity: an ACK can only name a sequence number this
@@ -2225,13 +2663,6 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                     }
                 }
                 if let Some(u) = st.unacked.remove(&(from.proc, seq)) {
-                    // Acknowledged: the loss-recovery timer is dead weight in
-                    // the kernel queue — retract it now rather than paying a
-                    // stale-timer event at RTO expiry (and, for the last
-                    // frame, dragging end_time out to the timeout horizon).
-                    if let Some(h) = u.timer {
-                        inner.sim.cancel_scheduled(h);
-                    }
                     if !u.retransmitted {
                         // Karn's rule: only frames never retransmitted give
                         // unambiguous round-trip samples.
@@ -2241,9 +2672,25 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                             st.rtt_samples += 1;
                         }
                     } else {
-                        // The retransmission got through: stop backing off,
-                        // but discard the ambiguous timing.
+                        // An ACK for a frame already retransmitted: either
+                        // echo is ambiguous (Karn bars the sample), and the
+                        // retransmission may well have been unnecessary —
+                        // count it. Stop backing off: the peer is alive.
+                        st.spurious_retx += 1;
+                        spurious = true;
                         st.rtt.entry(from.proc).or_default().backoff_exp = 0;
+                    }
+                    // One loss-recovery timer per destination, timing the
+                    // oldest frame on the wire: a partial acknowledgment
+                    // restarts it (the new oldest frame gets a full RTO
+                    // from now), the final one retracts it — rather than
+                    // paying a stale-timer event at RTO expiry (and, for
+                    // the last frame, dragging end_time out to the
+                    // timeout horizon).
+                    if st.unacked.keys().any(|&(d, _)| d == from.proc) {
+                        restart = true;
+                    } else {
+                        cancel_retx_timer(inner, &mut st, from.proc);
                     }
                 }
                 // A freed I/O buffer reopens the pipelined send window.
@@ -2254,40 +2701,60 @@ fn ingest(inner: &Arc<ProcInner>, m: &MtsCtx, tier: usize, d: Delivery) {
                 }
                 (wake, st.unacked.is_empty(), st.shutdown)
             };
+            if spurious {
+                inner.sim.with_metrics(|mm| mm.inc("retx.spurious", 1));
+            }
+            if restart {
+                restart_retx_timer(inner, from.proc);
+            }
             if wake_send || empty_after {
                 if let Some(tid) = inner.sys.lock().send {
                     inner.mts.unblock(&inner.sim, tid);
                 }
             }
             if empty_after && shutdown {
-                inner.merged.close(&inner.sim);
+                signal_quiescent(inner);
             }
         }
         MsgClass::Nack => {
             let seq = user_tag;
-            let resend = {
+            let (resend, deferred) = {
                 let mut st = inner.state.lock();
-                st.unacked.get_mut(&(from.proc, seq)).map(|u| {
-                    u.retransmitted = true; // Karn: timing now ambiguous
-                    SendReq {
-                        from_thread: u.from_thread,
-                        to: u.to,
-                        class: u.class,
-                        user_tag: u.user_tag,
-                        data: u.wrapped.clone(),
-                        tier: u.tier,
-                        waiter: None,
-                        prewrapped: true,
-                        seq: None,
-                        causal: 0,
+                let at_cap = st.send_q.iter().filter(|r| r.prewrapped).count()
+                    >= inner.cfg.retx_queue_cap.max(1);
+                match st.unacked.get_mut(&(from.proc, seq)) {
+                    Some(_) if at_cap => {
+                        // Bounded retransmit queue: skip the NACK-driven
+                        // resend; the destination's loss-recovery timer is
+                        // still armed and will retry once the queue drains.
+                        st.retx_deferred += 1;
+                        (None, true)
                     }
-                })
+                    Some(u) => {
+                        u.retransmitted = true; // Karn: timing now ambiguous
+                        let req = SendReq {
+                            from_thread: u.from_thread,
+                            to: u.to,
+                            class: u.class,
+                            user_tag: u.user_tag,
+                            data: u.wrapped.clone(),
+                            tier: u.tier,
+                            waiter: None,
+                            prewrapped: true,
+                            seq: None,
+                            causal: 0,
+                        };
+                        st.retransmits += 1;
+                        st.send_q.push_back(req);
+                        (Some(()), false)
+                    }
+                    None => (None, false),
+                }
             };
-            if let Some(req) = resend {
-                let mut st = inner.state.lock();
-                st.retransmits += 1;
-                st.send_q.push_back(req);
-                drop(st);
+            if deferred {
+                inner.sim.with_metrics(|mm| mm.inc("retx.backpressure", 1));
+            }
+            if resend.is_some() {
                 if let Some(tid) = inner.sys.lock().send {
                     inner.mts.unblock(&inner.sim, tid);
                 }
@@ -2443,7 +2910,10 @@ mod rto_tests {
     #[test]
     fn from_base_scales_all_three_knobs() {
         let r = RtoConfig::from_base(Dur::from_millis(20));
-        assert_eq!(r.initial, Dur::from_millis(20));
+        // Pre-sample RTO sits at the ceiling (RFC 6298-style conservative
+        // initial): a first-frame timer below the real path RTT would fire
+        // a guaranteed-spurious retransmission.
+        assert_eq!(r.initial, Dur::from_millis(320));
         assert_eq!(r.min, Dur::from_millis(5));
         assert_eq!(r.max, Dur::from_millis(320));
     }

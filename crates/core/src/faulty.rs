@@ -121,6 +121,12 @@ impl Network for FaultyNet {
         self.inner.recv_reaction_cost(node, bytes)
     }
 
+    fn peer_unreachable(&self, src: NodeId, dst: NodeId, now: ncs_sim::SimTime) -> bool {
+        // Must delegate: the trait default is "never partitioned", which
+        // would hide the wrapped fabric's outage windows.
+        self.inner.peer_unreachable(src, dst, now)
+    }
+
     fn description(&self) -> String {
         format!(
             "{} with byte corruption p={}",

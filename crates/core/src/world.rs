@@ -5,7 +5,7 @@ use ncs_net::Network;
 use ncs_sim::Sim;
 use std::sync::Arc;
 
-use crate::env::{NcsConfig, NcsProc};
+use crate::env::{NcsConfig, NcsProc, TermBarrier};
 
 /// Spawns `n` NCS processes on `nets` (tier 0 first). For each process, the
 /// `setup` closure runs on the process main thread and creates its user
@@ -48,9 +48,14 @@ impl NcsWorld {
     ) -> NcsWorld {
         assert!(n >= 1);
         let setup = Arc::new(setup);
+        // `NCS_end` is collective: a locally-finished process lingers at
+        // this barrier (still re-ACKing duplicate frames) until every peer
+        // is quiescent, so a lost final acknowledgment never leaves a peer
+        // retransmitting at a torn-down receiver.
+        let term = TermBarrier::new(n);
         let mut procs = Vec::with_capacity(n);
         for id in 0..n {
-            let proc_ = NcsProc::init(sim, id, n, nets.clone(), config.clone());
+            let proc_ = NcsProc::init_collective(sim, id, n, nets.clone(), config.clone(), &term);
             procs.push(proc_.clone());
             let setup = Arc::clone(&setup);
             sim.spawn(format!("proc{id}-main"), move |ctx| {

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use crate::aal5;
 use crate::cell::CELL_BYTES;
-use crate::fabric::{Fabric, NodeId, TrainTiming, TransferTiming};
+use crate::fabric::{Fabric, NodeId, SwitchedFabric, TrainTiming, TransferTiming};
 use crate::link::{LinkSpec, LinkState};
 
 /// Wire bytes for an AAL5-framed chunk of `payload` bytes.
@@ -215,11 +215,39 @@ impl Fabric for AtmLanFabric {
         Some(self.downlink(node).backlog_bytes(now))
     }
 
+    fn path_down(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        // The route is unique (up, switch, down); the switch itself never
+        // fails, so the path is severed iff either access link is out.
+        self.uplinks[src.idx()].is_down(at) || self.downlinks[dst.idx()].is_down(at)
+    }
+
     fn description(&self) -> String {
         format!(
             "ATM LAN: {} hosts, {} access, 1 switch ({} latency)",
             self.params.nodes, self.params.access.name, self.params.switch_latency
         )
+    }
+}
+
+impl SwitchedFabric for AtmLanFabric {
+    fn uplink_of(&self, node: NodeId) -> &Arc<LinkState> {
+        self.uplink(node)
+    }
+
+    fn downlink_of(&self, node: NodeId) -> &Arc<LinkState> {
+        self.downlink(node)
+    }
+
+    fn trunk_links(&self) -> Vec<Arc<LinkState>> {
+        Vec::new() // single switch: no switch-to-switch links
+    }
+
+    fn overflow_drop_count(&self) -> u64 {
+        self.overflow_drops()
+    }
+
+    fn flap_loss_count(&self) -> u64 {
+        self.flap_losses()
     }
 }
 
@@ -438,6 +466,20 @@ impl Fabric for NynetFabric {
         Some(self.downlink(node).backlog_bytes(now))
     }
 
+    fn path_down(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        // The route is unique: access links, plus (cross-site) the source
+        // trunk, the backbone, and the destination trunk.
+        if self.uplinks[src.idx()].is_down(at) || self.downlinks[dst.idx()].is_down(at) {
+            return true;
+        }
+        let s_src = self.params.site_of(src);
+        let s_dst = self.params.site_of(dst);
+        s_src != s_dst
+            && (self.trunks_up[s_src].is_down(at)
+                || self.backbone.is_down(at)
+                || self.trunks_down[s_dst].is_down(at))
+    }
+
     fn description(&self) -> String {
         format!(
             "NYNET WAN: {} hosts over {} sites, {} access, {} trunks, {} backbone, {} WAN propagation",
@@ -448,6 +490,32 @@ impl Fabric for NynetFabric {
             self.params.backbone.name,
             self.params.wan_propagation
         )
+    }
+}
+
+impl SwitchedFabric for NynetFabric {
+    fn uplink_of(&self, node: NodeId) -> &Arc<LinkState> {
+        self.uplink(node)
+    }
+
+    fn downlink_of(&self, node: NodeId) -> &Arc<LinkState> {
+        self.downlink(node)
+    }
+
+    fn trunk_links(&self) -> Vec<Arc<LinkState>> {
+        let mut v: Vec<Arc<LinkState>> = Vec::new();
+        v.extend(self.trunks_up.iter().cloned());
+        v.extend(self.trunks_down.iter().cloned());
+        v.push(Arc::clone(&self.backbone));
+        v
+    }
+
+    fn overflow_drop_count(&self) -> u64 {
+        self.overflow_drops()
+    }
+
+    fn flap_loss_count(&self) -> u64 {
+        self.flap_losses()
     }
 }
 

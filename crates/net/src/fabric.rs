@@ -139,8 +139,43 @@ pub trait Fabric: Send + Sync + 'static {
         None
     }
 
+    /// Whether the route a chunk from `src` to `dst` would take at `at` is
+    /// entirely severed — every link on it inside a scheduled outage
+    /// window. Partition detection for the error-control layer: a sender
+    /// whose loss-recovery timer fires against a severed route can fail
+    /// fast instead of crawling through its retry budget. Default: never
+    /// (fabrics without outage modeling are always connected). Reading it
+    /// must not perturb timing.
+    fn path_down(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        let _ = (src, dst, at);
+        false
+    }
+
     /// Human-readable summary for experiment reports.
     fn description(&self) -> String;
+}
+
+/// A fabric built from switches and point-to-point [`crate::link::LinkState`]s, exposing
+/// the handles chaos experiments need: per-host access links (to schedule
+/// outage/flap windows on), the switch-to-switch long-haul links, and the
+/// fabric-wide loss counters. Every multi-host ATM fabric in this crate
+/// implements it, so a fault harness can sweep topologies generically.
+pub trait SwitchedFabric: Fabric {
+    /// The host→switch access link of `node`.
+    fn uplink_of(&self, node: NodeId) -> &std::sync::Arc<crate::link::LinkState>;
+
+    /// The switch→host access link of `node`.
+    fn downlink_of(&self, node: NodeId) -> &std::sync::Arc<crate::link::LinkState>;
+
+    /// Switch-to-switch links (trunks, backbone segments, ring long-hauls)
+    /// in a stable order; empty for a single-switch fabric.
+    fn trunk_links(&self) -> Vec<std::sync::Arc<crate::link::LinkState>>;
+
+    /// Chunks dropped to finite switch output buffers so far.
+    fn overflow_drop_count(&self) -> u64;
+
+    /// Chunks lost to link outage windows so far.
+    fn flap_loss_count(&self) -> u64;
 }
 
 /// An infinitely fast fabric with a fixed one-way latency. For unit tests

@@ -325,6 +325,12 @@ impl Network for ChaosNet {
         self.inner.recv_reaction_cost(node, bytes)
     }
 
+    fn peer_unreachable(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        // Crash-stop is not a partition: the links stay up, the peer is
+        // silent. Only real route severance counts.
+        self.inner.peer_unreachable(src, dst, now)
+    }
+
     fn description(&self) -> String {
         format!(
             "chaos(corrupt {:.1e}/cell, loss {:.1e}/cell, seed {}) over {}",
@@ -375,7 +381,8 @@ mod tests {
         });
         let outcome = sim.run();
         assert!(outcome.panics.is_empty(), "{:?}", outcome.panics);
-        *got.lock()
+        let n = *got.lock();
+        n
     }
 
     #[test]
@@ -517,5 +524,56 @@ mod tests {
         assert_eq!(delivered, 3);
         // An empty payload still rides one cell (trailer only).
         assert_eq!(net.stats().snapshot().cells_total, 3);
+    }
+
+    #[test]
+    fn fault_rolls_are_per_cell_not_per_batch() {
+        // Fault decisions are drawn per cell *before* any transport
+        // batching (I/O buffers, cell trains), so loss probability cannot
+        // depend on how the transport groups cells. With the same seed,
+        // one large message and the same bytes split into per-PDU messages
+        // consume the RNG identically: the damage tallies must be *equal*,
+        // not merely statistically close.
+        let pdu = ChaosParams::clean(0).pdu_bytes;
+        let run = |msgs: usize, bytes: usize| {
+            let net = ChaosNet::new(base_net(), ChaosParams::new(0.01, 0.02, 99));
+            let stats = net.stats();
+            deliveries(net, msgs, bytes);
+            stats.snapshot()
+        };
+        let whole = run(1, 10 * pdu);
+        let split = run(10, pdu);
+        assert_eq!(whole.cells_total, split.cells_total);
+        assert_eq!(whole.cells_lost, split.cells_lost);
+        assert_eq!(whole.cells_corrupted, split.cells_corrupted);
+        assert_eq!(whole.pdus_rejected, split.pdus_rejected);
+    }
+
+    #[test]
+    fn loss_rate_statistical_regression() {
+        // Fixed seed, fixed traffic: the observed per-cell loss count must
+        // (a) be byte-for-byte reproducible and (b) sit within 5 sigma of
+        // the binomial expectation — a seeded-RNG regression net for the
+        // fault model.
+        let p_loss = 0.05;
+        let run = || {
+            let net = ChaosNet::new(base_net(), ChaosParams::new(0.0, p_loss, 4242));
+            let stats = net.stats();
+            deliveries(net, 50, 8192);
+            stats.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same traffic, same damage");
+        let n = a.cells_total as f64;
+        let mean = n * p_loss;
+        let sigma = (n * p_loss * (1.0 - p_loss)).sqrt();
+        let lo = (mean - 5.0 * sigma).floor() as u64;
+        let hi = (mean + 5.0 * sigma).ceil() as u64;
+        assert!(
+            (lo..=hi).contains(&a.cells_lost),
+            "cells_lost {} outside [{lo}, {hi}] for n={n} p={p_loss}",
+            a.cells_lost
+        );
     }
 }

@@ -5,8 +5,9 @@
 //! * **ATM data plane**: [`cell`] (53-byte cells with HEC), [`aal5`] and
 //!   [`aal34`] adaptation layers, [`crc`] algorithms;
 //! * **fabrics**: [`ethernet`] (shared 10 Mb/s segment), [`atm`] (FORE-style
-//!   single-switch LAN and the NYNET WAN testbed), over FIFO-queued
-//!   [`link`]s with payload-effective SONET/DS-3/TAXI rates;
+//!   single-switch LAN and the NYNET WAN testbed), [`wan`] (multi-switch
+//!   fat-tree and DS-3/OC-48 wide-area ring with VBR cross-traffic), over
+//!   FIFO-queued [`link`]s with payload-effective SONET/DS-3/TAXI rates;
 //! * **host cost models**: [`host`] — CPU clocks, syscall/trap/interrupt
 //!   costs, and the Figure-3 datapath (5 memory accesses per word on the
 //!   socket path vs 3 on NCS's mapped-buffer path);
@@ -36,14 +37,18 @@ pub mod host;
 pub mod link;
 pub mod stack;
 pub mod topology;
+pub mod wan;
 
 pub use api::{AtmApi, TrafficClass, Vc, VcTable};
 pub use faults::{ChaosNet, ChaosParams, FaultStats, FaultStatsSnapshot};
-pub use fabric::{Fabric, IdealFabric, NodeId, TransferTiming};
+pub use fabric::{Fabric, IdealFabric, NodeId, SwitchedFabric, TransferTiming};
+pub use wan::{
+    spawn_vbr, FatTreeFabric, FatTreeParams, VbrConfig, VbrHandle, WanRingFabric, WanRingParams,
+};
 pub use host::{DatapathKind, HostParams};
 pub use link::{LinkSpec, LinkState};
 pub use stack::{
     AtmApiNet, AtmApiParams, BlockingWait, CellEventMode, Delivery, Network, TcpNet, TcpParams,
     WaitPolicy,
 };
-pub use topology::Testbed;
+pub use topology::{ChaosTopology, Testbed};

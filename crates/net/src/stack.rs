@@ -99,6 +99,15 @@ pub trait Network: Send + Sync + 'static {
         Dur::ZERO
     }
 
+    /// Whether every route from `src` to `dst` is severed at `now` (see
+    /// [`Fabric::path_down`]). Error-control layers use this to distinguish
+    /// a partition (fail fast with an exception) from ordinary loss (retry).
+    /// Default: never partitioned.
+    fn peer_unreachable(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        let _ = (src, dst, now);
+        false
+    }
+
     /// Human-readable summary.
     fn description(&self) -> String;
 }
@@ -370,6 +379,10 @@ impl<F: Fabric> Network for TcpNet<F> {
         self.params.blocking_reaction_per_byte.times(liable as u64)
     }
 
+    fn peer_unreachable(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        self.fabric.path_down(src, dst, now)
+    }
+
     fn description(&self) -> String {
         format!(
             "TCP/IP (mss {}, sockbuf {}) over {}",
@@ -633,6 +646,10 @@ impl<F: Fabric> Network for AtmApiNet<F> {
     fn recv_pickup_cost(&self, node: NodeId, bytes: usize) -> Dur {
         let h = &self.hosts[node.idx()];
         h.trap + h.copy_time(bytes, DatapathKind::NcsMapped)
+    }
+
+    fn peer_unreachable(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        self.fabric.path_down(src, dst, now)
     }
 
     fn description(&self) -> String {

@@ -6,8 +6,10 @@ use std::sync::Arc;
 
 use crate::atm::{AtmLanFabric, AtmLanParams, NynetFabric, NynetParams};
 use crate::ethernet::{EthernetFabric, EthernetParams};
+use crate::fabric::SwitchedFabric;
 use crate::host::HostParams;
 use crate::stack::{AtmApiNet, AtmApiParams, Network, TcpNet, TcpParams};
+use crate::wan::{FatTreeFabric, FatTreeParams, WanRingFabric, WanRingParams};
 
 /// The three hardware configurations of the paper plus the two HSM
 /// variants enabled by NCS's second MPS implementation.
@@ -64,6 +66,88 @@ impl Testbed {
                 let fabric = Arc::new(NynetFabric::new(NynetParams::nynet(nodes)));
                 let hosts = vec![HostParams::sparc_ipx(); nodes];
                 Arc::new(AtmApiNet::new(fabric, hosts, AtmApiParams::default()))
+            }
+        }
+    }
+}
+
+/// The topology axis of the WAN-scale chaos sweep: one switch, a campus
+/// fat-tree, or a wide-area ring. All three run SPARCstation IPX hosts
+/// over TCP/IP-over-ATM so only the wire topology varies between arms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosTopology {
+    /// Single FORE switch (the paper's ATM LAN).
+    Lan,
+    /// Two-level fat-tree: TAXI access into edge switches, OC-3 trunks to
+    /// two cores.
+    FatTree,
+    /// Wide-area ring with mixed DS-3/OC-48 long-haul segments and
+    /// millisecond propagation.
+    WanRing,
+}
+
+impl ChaosTopology {
+    /// Short identifier used in result tables.
+    pub fn id(self) -> &'static str {
+        match self {
+            ChaosTopology::Lan => "lan",
+            ChaosTopology::FatTree => "fat-tree",
+            ChaosTopology::WanRing => "wan-ring",
+        }
+    }
+
+    /// All sweep arms, in report order.
+    pub fn all() -> [ChaosTopology; 3] {
+        [
+            ChaosTopology::Lan,
+            ChaosTopology::FatTree,
+            ChaosTopology::WanRing,
+        ]
+    }
+
+    /// Builds a chaos testbed: a fabric over `nodes + extra_nodes` hosts
+    /// (the extras carry cross-traffic, not application processes) with an
+    /// optional finite per-switch output buffer, and the TCP/IP-over-ATM
+    /// stack on top. Returns the fabric twice — as the [`SwitchedFabric`]
+    /// handle the fault harness flaps links through, and erased inside the
+    /// [`Network`] — so the harness can keep scheduling faults after the
+    /// stack takes ownership.
+    pub fn build_chaos(
+        self,
+        nodes: usize,
+        extra_nodes: usize,
+        output_buffer_cells: Option<usize>,
+    ) -> (Arc<dyn SwitchedFabric>, Arc<dyn Network>) {
+        let total = nodes + extra_nodes;
+        let hosts = vec![HostParams::sparc_ipx(); total];
+        let tcp = TcpParams::ip_over_atm();
+        match self {
+            ChaosTopology::Lan => {
+                let mut p = AtmLanParams::fore_lan(total);
+                if let Some(cells) = output_buffer_cells {
+                    p = p.with_output_buffer(cells);
+                }
+                let fabric = Arc::new(AtmLanFabric::new(p));
+                let net = Arc::new(TcpNet::new(Arc::clone(&fabric), hosts, tcp));
+                (fabric, net)
+            }
+            ChaosTopology::FatTree => {
+                let mut p = FatTreeParams::campus(total);
+                if let Some(cells) = output_buffer_cells {
+                    p = p.with_output_buffer(cells);
+                }
+                let fabric = Arc::new(FatTreeFabric::new(p));
+                let net = Arc::new(TcpNet::new(Arc::clone(&fabric), hosts, tcp));
+                (fabric, net)
+            }
+            ChaosTopology::WanRing => {
+                let mut p = WanRingParams::mixed_ring(total, 4);
+                if let Some(cells) = output_buffer_cells {
+                    p = p.with_output_buffer(cells);
+                }
+                let fabric = Arc::new(WanRingFabric::new(p));
+                let net = Arc::new(TcpNet::new(Arc::clone(&fabric), hosts, tcp));
+                (fabric, net)
             }
         }
     }
@@ -178,6 +262,27 @@ mod id_tests {
             .description()
             .contains("ATM API"));
         assert!(Testbed::NynetTcp.build(2).description().contains("NYNET"));
+    }
+
+    #[test]
+    fn chaos_topologies_build_with_extras_and_buffers() {
+        use crate::fabric::NodeId;
+        for topo in ChaosTopology::all() {
+            let (fabric, net) = topo.build_chaos(16, 4, Some(256));
+            assert_eq!(net.nodes(), 20, "{}", topo.id());
+            assert_eq!(fabric.nodes(), 20);
+            // The handles the fault harness needs are live: access links
+            // exist for every host, and the multi-switch arms expose
+            // trunks to flap.
+            let _ = fabric.uplink_of(NodeId(0));
+            let _ = fabric.downlink_of(NodeId(19));
+            match topo {
+                ChaosTopology::Lan => assert!(fabric.trunk_links().is_empty()),
+                _ => assert!(!fabric.trunk_links().is_empty(), "{}", topo.id()),
+            }
+            assert_eq!(fabric.overflow_drop_count(), 0);
+            assert_eq!(fabric.flap_loss_count(), 0);
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ cargo run --release -p ncs-bench --bin xp_observe -- --smoke
 echo "== event-kernel scaling smoke (as CI) =="
 cargo run --release -p ncs-bench --bin xp_scale -- --smoke
 
+echo "== chaos sweep smoke: faults, topologies, graceful degradation (as CI) =="
+cargo run --release -p ncs-bench --bin xp_chaos -- --smoke
+
 echo "== benches (smoke) =="
 cargo bench -p ncs-bench -- --test
 
