@@ -28,12 +28,23 @@
 //!   arithmetic there would make event ordering platform-dependent. The
 //!   explicitly-allowed conversion helpers at the display/config boundary
 //!   carry `allow` escapes.
+//! * `guard-across-park` — a `lock()` guard (a `let` binding, or a
+//!   `match`/`if let`/`while let` scrutinee temporary, which lives to the
+//!   end of the block) still in scope at a park/block/yield point
+//!   (`park(`, `.block()`, `.block_on(`, `yield_now(`, `external_block(`).
+//!   Under the baton protocol the parked thread keeps the mutex locked
+//!   while another green thread runs — the classic recipe for a
+//!   self-deadlock or a lost wakeup. Drop the guard (end its scope or
+//!   `drop(guard)`) before parking.
 //!
 //! A line (or the line directly below the comment) is exempted with:
 //!
 //! ```text
 //! // ncs-lint: allow(rule-a, rule-b)
 //! ```
+//!
+//! Rule names in `allow` may use `-` or `_` interchangeably
+//! (`allow(guard_across_park)` works).
 //!
 //! Comments and string/char literals are stripped before matching, so doc
 //! comments may freely *mention* `HashMap`; `#[cfg(test)]` items and
@@ -52,9 +63,12 @@ pub const LINT_RULES: &[&str] = &[
     "thread-spawn",
     "unseeded-rand",
     "float-time",
+    "guard-across-park",
 ];
 
-/// The crate sources the workspace lint walks (simulation-facing code).
+/// The crate sources the workspace lint walks (simulation-facing code,
+/// examples, and the bench binaries — anything that runs inside the
+/// simulated world).
 const LINT_ROOTS: &[&str] = &[
     "crates/sim/src",
     "crates/net/src",
@@ -63,6 +77,8 @@ const LINT_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/apps/src",
     "crates/bench/src",
+    "examples",
+    "src",
 ];
 
 /// One lint hit: a rule, a location, and the offending source line.
@@ -203,6 +219,94 @@ fn strip_line(raw: &str, state: LexState) -> (String, LexState) {
     (out, st)
 }
 
+/// A `lock()` guard known to be live: a `let` binding (dies when its
+/// scope closes or on `drop(name)`) or a `match`/`if let`/`while let`
+/// scrutinee temporary (dies when the block it governs closes).
+struct LiveGuard {
+    /// Binding name, `None` for scrutinee temporaries.
+    name: Option<String>,
+    /// Brace depth at the start of the line that created the guard.
+    bind_depth: i64,
+    /// Scrutinee temporaries outlive the *block*, not the statement.
+    scrutinee: bool,
+    /// A scrutinee's governed block has been entered (depth went above
+    /// `bind_depth`); when depth returns, the guard is dead.
+    entered: bool,
+}
+
+/// The binding name of a `let [mut] name = ...` statement on this line
+/// (not necessarily at line start), if any.
+fn let_binding_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let at = if t.starts_with("let ") {
+        0
+    } else {
+        t.find(" let ")? + 1
+    };
+    let rest = t[at + "let ".len()..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// True when the statement *keeps* the guard: the call chain after
+/// `.lock(` at `lock_pos` ends the statement (optionally via `.unwrap()`
+/// or `.expect(…)`). `let n = q.lock().len();` borrows through a
+/// temporary that dies at the `;` and holds nothing. String literals are
+/// already stripped, so `.expect("…")` reads `.expect()` here.
+fn binds_guard(code: &str, lock_pos: usize) -> bool {
+    let Some(after) = code[lock_pos + ".lock(".len()..].strip_prefix(')') else {
+        return false;
+    };
+    let after = after
+        .strip_prefix(".unwrap()")
+        .or_else(|| after.strip_prefix(".expect()"))
+        .unwrap_or(after);
+    after.trim_start().starts_with(';')
+}
+
+/// Byte positions of park/block/yield tokens in a stripped code line.
+/// Definition lines (`fn park(...)`) are not calls and never count;
+/// `park(` requires a non-identifier character before it so `unpark(`
+/// does not match.
+fn park_positions(code: &str) -> Vec<usize> {
+    const TOKENS: &[&str] = &[
+        "park(",
+        ".block()",
+        ".block_on(",
+        "yield_now(",
+        "external_block(",
+    ];
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for t in TOKENS {
+        let mut from = 0;
+        while let Some(i) = code[from..].find(t) {
+            let pos = from + i;
+            // Tokens starting with an identifier char need a word
+            // boundary before them (`unpark(` is not `park(`); a leading
+            // `.` is its own boundary.
+            let boundary = t.starts_with('.')
+                || pos == 0
+                || {
+                    let c = bytes[pos - 1] as char;
+                    !(c.is_alphanumeric() || c == '_')
+                };
+            // `fn park(...)` is a definition, not a call.
+            let definition = code[..pos].trim_end().ends_with("fn");
+            if boundary && !definition {
+                out.push(pos);
+            }
+            from = pos + t.len();
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Extracts the rules named by `ncs-lint: allow(rule, ...)` in a raw line.
 fn parse_allows(raw: &str) -> Vec<&str> {
     let Some(at) = raw.find("ncs-lint: allow(") else {
@@ -235,6 +339,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
     // A `#[cfg(test)]` attribute was seen and its item hasn't opened yet.
     let mut pending_cfg_test = false;
     let mut allow_prev: Vec<String> = Vec::new();
+    let mut guards: Vec<LiveGuard> = Vec::new();
 
     for (idx, raw) in source.lines().enumerate() {
         let lineno = idx + 1;
@@ -248,7 +353,9 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
             .cloned()
             .collect();
         allow_prev = allows_here;
-        let allowed = |rule: &str| active_allows.iter().any(|a| a == rule);
+        // `-` and `_` are interchangeable in allow names.
+        let allowed =
+            |rule: &str| active_allows.iter().any(|a| a.replace('_', "-") == rule);
 
         let opens = code.matches('{').count() as i64;
         let closes = code.matches('}').count() as i64;
@@ -272,6 +379,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
         }
 
         let skipping = skip_below.is_some();
+        let depth_before = depth;
         depth += opens - closes;
         if let Some(d) = skip_below {
             if depth <= d {
@@ -313,6 +421,69 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
         if is_sim_clock && (code.contains("f64") || code.contains("f32")) {
             hit("float-time");
         }
+
+        // --- guard-across-park ---
+        // An explicit `drop(name)` releases a named guard; process drops
+        // first so `drop(g); ...park()` on one line stays clean.
+        if code.contains("drop(") {
+            guards.retain(|g| {
+                g.name
+                    .as_ref()
+                    .is_none_or(|n| !code.contains(&format!("drop({n})")))
+            });
+        }
+        let had_live_guard = !guards.is_empty();
+        let lock_pos = code.find(".lock(");
+        // A guard created on this line only conflicts with parks *after*
+        // the lock position.
+        let mut new_guard_lock: Option<usize> = None;
+        if let Some(lp) = lock_pos {
+            if let_binding_name(&code).is_some() && binds_guard(&code, lp) {
+                guards.push(LiveGuard {
+                    name: let_binding_name(&code),
+                    bind_depth: depth_before,
+                    scrutinee: false,
+                    entered: false,
+                });
+                new_guard_lock = Some(lp);
+            } else if code.contains("match ")
+                || code.contains("if let ")
+                || code.contains("while let ")
+            {
+                guards.push(LiveGuard {
+                    name: None,
+                    bind_depth: depth_before,
+                    scrutinee: true,
+                    // A one-line `match m.lock() { … }` is already closed.
+                    entered: opens > 0 && depth <= depth_before,
+                });
+                new_guard_lock = Some(lp);
+            }
+        }
+        let fires = park_positions(&code).into_iter().any(|pp| {
+            had_live_guard
+                || new_guard_lock.is_some_and(|lp| pp > lp)
+                // Plain expression temporary: dead at the `;`, live before.
+                || (new_guard_lock.is_none()
+                    && lock_pos.is_some_and(|lp| pp > lp && !code[lp..pp].contains(';')))
+        });
+        if fires {
+            hit("guard-across-park");
+        }
+        // Scope closes kill guards: a binding dies when its enclosing
+        // block does; a scrutinee dies when the block it governs closes.
+        guards.retain_mut(|g| {
+            if g.scrutinee {
+                if depth > g.bind_depth {
+                    g.entered = true;
+                    true
+                } else {
+                    !g.entered && depth == g.bind_depth
+                }
+            } else {
+                depth >= g.bind_depth
+            }
+        });
     }
     out
 }
@@ -442,5 +613,101 @@ mod tests {
         let src = "pub fn secs(x: f64) -> f64 { x }\n";
         assert_eq!(lint_file("crates/sim/src/time.rs", src).len(), 1);
         assert!(lint_file("crates/sim/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guard_binding_live_across_park_is_flagged() {
+        let src = "fn f(m: &M) {\n\
+                       let g = m.inner.lock();\n\
+                       g.touch();\n\
+                       ctx.park();\n\
+                   }\n";
+        let v = lint_file("crates/core/src/env.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "guard-across-park");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn guard_released_before_park_is_clean() {
+        // The idiomatic pattern everywhere in the runtime: take the lock
+        // in an inner block (or drop it explicitly), then park.
+        let scoped = "fn f(m: &M) {\n\
+                          {\n\
+                              let g = m.inner.lock();\n\
+                              g.touch();\n\
+                          }\n\
+                          ctx.park();\n\
+                      }\n";
+        assert!(lint_file("crates/core/src/env.rs", scoped).is_empty());
+        let dropped = "fn f(m: &M) {\n\
+                           let g = m.inner.lock();\n\
+                           g.touch();\n\
+                           drop(g);\n\
+                           ctx.park();\n\
+                       }\n";
+        assert!(lint_file("crates/core/src/env.rs", dropped).is_empty());
+    }
+
+    #[test]
+    fn borrowing_let_temporary_does_not_hold_the_guard() {
+        // `let n = q.lock().len();` drops the guard at the `;` — parking
+        // afterwards is fine.
+        let src = "fn f(m: &M) {\n\
+                       let n = m.q.lock().len();\n\
+                       ctx.park();\n\
+                       let _ = n;\n\
+                   }\n";
+        assert!(lint_file("crates/core/src/env.rs", src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_block() {
+        // The PR2 bug class: a `match m.lock().pop() { … }` scrutinee
+        // temporary keeps the mutex locked for the whole match.
+        let src = "fn f(m: &M) {\n\
+                       match m.q.lock().pop() {\n\
+                           Some(x) => consume(x),\n\
+                           None => mctx.block(),\n\
+                       }\n\
+                       ctx.park();\n\
+                   }\n";
+        let v = lint_file("crates/core/src/env.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4, "the block() inside the match is the bug");
+    }
+
+    #[test]
+    fn same_line_order_matters() {
+        // Park before the lock is taken: clean. Park after: flagged.
+        let before = "fn f() {\n\
+                          ctx.park(); let g = m.lock();\n\
+                      }\n";
+        assert!(lint_file("crates/core/src/env.rs", before).is_empty());
+        let after = "fn f() {\n\
+                         let g = m.lock(); ctx.park();\n\
+                     }\n";
+        let v = lint_file("crates/core/src/env.rs", after);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "guard-across-park");
+    }
+
+    #[test]
+    fn unpark_and_definitions_are_not_park_points() {
+        let src = "fn f(m: &M) {\n\
+                       let g = m.inner.lock();\n\
+                       g.unpark();\n\
+                   }\n";
+        assert!(lint_file("crates/core/src/env.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_park_allow_accepts_underscores() {
+        let src = "fn f(m: &M) {\n\
+                       let g = m.inner.lock();\n\
+                       // ncs-lint: allow(guard_across_park)\n\
+                       ctx.park();\n\
+                   }\n";
+        assert!(lint_file("crates/core/src/env.rs", src).is_empty());
     }
 }

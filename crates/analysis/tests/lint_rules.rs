@@ -22,6 +22,8 @@ fn every_rule_fires_where_planted() {
             ("unseeded-rand", 19),
             ("unseeded-rand", 20),
             ("hash-collection", 49),
+            ("guard-across-park", 55),
+            ("guard-across-park", 59),
         ],
         "full report: {v:#?}"
     );

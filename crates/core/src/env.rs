@@ -1284,6 +1284,7 @@ impl NcsCtx<'_> {
                 st.recv_msgs += 1;
                 drop(st);
                 observe_delivery(&self.proc.inner, m.causal, self.ctx().now());
+                note_app_delivery(&self.proc.inner, &m);
                 return Some(m);
             }
         }
@@ -1335,6 +1336,7 @@ impl NcsCtx<'_> {
                 self.ctx().sim().cancel_scheduled(timer);
                 self.proc.inner.state.lock().recv_msgs += 1;
                 observe_delivery(&self.proc.inner, m.causal, self.ctx().now());
+                note_app_delivery(&self.proc.inner, &m);
                 return Some(m);
             }
             if *timed_out.lock() {
@@ -1399,6 +1401,7 @@ impl NcsCtx<'_> {
         }
         let t1 = self.ctx().now();
         observe_delivery(&self.proc.inner, msg.causal, t1);
+        note_app_delivery(&self.proc.inner, &msg);
         self.proc.inner.sim.with_tracer(|tr| {
             tr.span_full(self.actor, SpanKind::Comm, "recv", t0, t1, None, msg.causal);
         });
@@ -1883,6 +1886,25 @@ fn observe_delivery(inner: &Arc<ProcInner>, causal: u64, now: SimTime) {
             mm.observe("obs.e2e", last.saturating_since(first));
         }
     });
+}
+
+/// Records `msg` in the analysis delivery log at the instant the
+/// application accepts it. This feeds schedule exploration's
+/// observational-equivalence oracle: the delivered-payload sequence per
+/// `(src, dst, tag)` channel must be identical across every legal
+/// interleaving of the same workload. Thread ids ride in the key's high
+/// tag bits so each thread-to-thread flow is its own channel (cross-
+/// thread matching order genuinely may vary between legal schedules).
+fn note_app_delivery(inner: &Arc<ProcInner>, msg: &NcsMsg) {
+    if inner.cfg.analysis.active() {
+        let tag = (u64::from(msg.from.thread & 0xFFFF) << 48)
+            | (u64::from(msg.to_thread & 0xFFFF) << 32)
+            | u64::from(msg.tag);
+        inner
+            .cfg
+            .analysis
+            .note_delivery(msg.from.proc, inner.id, tag, &msg.data);
+    }
 }
 
 /// Puts one request on the wire and runs its post-send bookkeeping: RTT

@@ -21,7 +21,9 @@
 //! unless done through [`MtsCtx::external_block`], which is how NCS's
 //! receive thread waits for the network while sibling threads keep running.
 
-use ncs_sim::{ActorId, AnalysisConfig, Ctx, Dur, Sim, SimTime, SpanKind, ThreadId, WaitGraph};
+use ncs_sim::{
+    ActorId, AnalysisConfig, ChoicePoint, Ctx, Dur, Sim, SimTime, SpanKind, ThreadId, WaitGraph,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -119,12 +121,28 @@ impl Inner {
         runnable[prio].push_back(arena, slot);
     }
 
-    /// Pops the highest-priority runnable thread (round robin within level).
-    fn pop_runnable(&mut self) -> Option<u32> {
+    /// Pops the highest-priority runnable thread (round robin within
+    /// level). When a schedule-exploration policy is installed on the
+    /// kernel, the policy picks *which* thread of the top non-empty level
+    /// dispatches — the round-robin rotation within a level is a
+    /// convention, not a requirement, so any member is a legal choice.
+    /// Strict priority *between* levels is a hard rule and never offered
+    /// as a choice. With no policy installed the list head pops on the
+    /// pre-existing code path.
+    fn pop_runnable_via(&mut self, sim: &Sim) -> Option<u32> {
         let Inner {
             runnable, arena, ..
         } = self;
-        runnable.iter_mut().find_map(|l| l.pop_front(arena))
+        let level = runnable.iter_mut().find(|l| !l.is_empty())?;
+        let n = level.len();
+        if n >= 2 && sim.has_schedule_policy() {
+            let pick = sim.schedule_choice(ChoicePoint::RunnableRotation, n);
+            let slot = level.iter(arena).nth(pick).expect("pick within level");
+            level.unlink(arena, slot);
+            Some(slot)
+        } else {
+            level.pop_front(arena)
+        }
     }
 
     fn push_blocked(&mut self, slot: u32) {
@@ -435,7 +453,7 @@ impl Mts {
 
     fn dispatch_next_at(&self, inner: &mut Inner, now: SimTime) {
         debug_assert!(inner.running.is_none());
-        match inner.pop_runnable() {
+        match inner.pop_runnable_via(&self.sim) {
             Some(slot) => {
                 let tid = MtsTid(slot);
                 if let Some(since) = inner.idle_since.take() {
@@ -1257,6 +1275,7 @@ mod policy_tests {
                 MtsConfig {
                     context_switch: Dur::ZERO,
                     policy: SchedPolicy::GlobalFifo,
+                    analysis: AnalysisConfig::default(),
                 },
             );
             // Created in descending priority: FIFO must run creation order.

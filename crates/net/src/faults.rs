@@ -26,7 +26,7 @@
 //! the payload-integrity faults that depend on message contents.
 
 use bytes::Bytes;
-use ncs_sim::{Ctx, Dur, SimChannel, SimRng, SimTime};
+use ncs_sim::{ChoicePoint, Ctx, Dur, Sim, SimChannel, SimRng, SimTime};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -184,7 +184,7 @@ impl ChaosNet {
 
     /// Runs one CS-PDU through the cell-level fault model. Returns whether
     /// the receiver's AAL5 layer hands the intact payload up.
-    fn pdu_survives(&self, chunk: &[u8], rng: &mut SimRng) -> bool {
+    fn pdu_survives(&self, sim: &Sim, chunk: &[u8], rng: &mut SimRng) -> bool {
         let n_cells = aal5::cells_for_pdu(chunk.len());
         self.stats
             .cells_total
@@ -219,6 +219,20 @@ impl ChaosNet {
             .fetch_add(flips.len() as u64, Ordering::Relaxed);
         if lost.is_empty() && flips.is_empty() {
             return true;
+        }
+
+        // Exploration: *which* cell of the train a rolled fault lands on is
+        // timing, not semantics — any position is a legal victim. Let the
+        // installed schedule policy rotate each hit; choice 0 keeps the
+        // rolled position, so replaying an empty script is the canonical
+        // fault pattern. Never consulted outside exploration runs.
+        if n_cells >= 2 && sim.has_schedule_policy() {
+            for i in lost.iter_mut().chain(flips.iter_mut().map(|(i, _)| i)) {
+                let shift = sim.schedule_choice(ChoicePoint::FaultTiming, n_cells);
+                *i = (*i + shift) % n_cells;
+            }
+            lost.sort_unstable();
+            lost.dedup();
         }
 
         // Something was hit: run the real ATM receive pipeline over the
@@ -267,16 +281,16 @@ impl ChaosNet {
     }
 
     /// Whether a whole message survives: every CS-PDU must.
-    fn message_survives(&self, payload: &[u8]) -> bool {
+    fn message_survives(&self, sim: &Sim, payload: &[u8]) -> bool {
         let mut rng = self.rng.lock();
         let mut ok = true;
         if payload.is_empty() {
-            ok = self.pdu_survives(&[], &mut rng);
+            ok = self.pdu_survives(sim, &[], &mut rng);
         } else {
             for chunk in payload.chunks(self.params.pdu_bytes) {
                 // Keep draining the RNG for every chunk so fault positions
                 // do not depend on earlier chunks' outcomes.
-                ok &= self.pdu_survives(chunk, &mut rng);
+                ok &= self.pdu_survives(sim, chunk, &mut rng);
             }
         }
         ok
@@ -306,7 +320,7 @@ impl Network for ChaosNet {
             self.stats.crash_drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        if !self.message_survives(&payload) {
+        if !self.message_survives(ctx.sim(), &payload) {
             self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }

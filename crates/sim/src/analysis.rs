@@ -14,8 +14,25 @@
 //! cycles: everything already depends on `ncs-sim`.
 
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Key of one directed application-visible channel: `(src proc, dst proc,
+/// tag)`. The delivered-payload sequence per channel is the observable a
+/// schedule-exploration run compares across interleavings.
+pub type ChannelKey = (usize, usize, u64);
+
+/// FNV-1a digest of a byte string — the compact payload fingerprint kept
+/// in the delivery log.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// One invariant violation detected by a runtime analysis pass.
 ///
@@ -46,6 +63,9 @@ impl fmt::Display for Violation {
 #[derive(Debug, Default)]
 pub struct InvariantSink {
     violations: Mutex<Vec<Violation>>,
+    /// Per-channel sequence of delivered-payload digests, in delivery
+    /// order — the cross-schedule observational-equivalence record.
+    deliveries: Mutex<BTreeMap<ChannelKey, Vec<u64>>>,
 }
 
 impl InvariantSink {
@@ -77,6 +97,23 @@ impl InvariantSink {
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.violations.lock().is_empty()
+    }
+
+    /// Appends one delivered payload digest to channel `(src, dst, tag)`.
+    /// Called from the message-passing core at the moment a message is
+    /// accepted for the application (never on duplicates or retransmits),
+    /// so the per-channel sequence is exactly what the application saw.
+    pub fn note_delivery(&self, src: usize, dst: usize, tag: u64, payload_hash: u64) {
+        self.deliveries
+            .lock()
+            .entry((src, dst, tag))
+            .or_default()
+            .push(payload_hash);
+    }
+
+    /// The delivery log: per-channel delivered-payload digest sequences.
+    pub fn deliveries(&self) -> BTreeMap<ChannelKey, Vec<u64>> {
+        self.deliveries.lock().clone()
     }
 }
 
@@ -127,6 +164,14 @@ impl AnalysisConfig {
                 actor: actor.into(),
                 detail: detail.into(),
             });
+        }
+    }
+
+    /// Records a delivered payload on channel `(src, dst, tag)` (no-op
+    /// when disabled). Only the FNV-1a digest is kept.
+    pub fn note_delivery(&self, src: usize, dst: usize, tag: u64, payload: &[u8]) {
+        if let Some(sink) = &self.sink {
+            sink.note_delivery(src, dst, tag, fnv1a(payload));
         }
     }
 }
@@ -290,6 +335,20 @@ mod tests {
         g.add_edge(0, 2);
         assert_eq!(g.len(), 3);
         assert_eq!(g.cycles(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn delivery_log_orders_per_channel() {
+        let (cfg, sink) = AnalysisConfig::recording();
+        cfg.note_delivery(0, 1, 7, b"first");
+        cfg.note_delivery(0, 1, 7, b"second");
+        cfg.note_delivery(1, 0, 7, b"first");
+        AnalysisConfig::off().note_delivery(0, 1, 7, b"dropped");
+        let log = sink.deliveries();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[&(0, 1, 7)], vec![fnv1a(b"first"), fnv1a(b"second")]);
+        assert_eq!(log[&(1, 0, 7)], vec![fnv1a(b"first")]);
+        assert_ne!(fnv1a(b"first"), fnv1a(b"second"));
     }
 
     #[test]

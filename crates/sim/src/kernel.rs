@@ -28,6 +28,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::analysis::AnalysisConfig;
 use crate::metrics::MetricsRegistry;
+use crate::sched::{ChoicePoint, SchedulePolicy};
 use crate::time::{Dur, SimTime};
 use crate::trace::Tracer;
 use crate::wheel::{TimerWheel, Token};
@@ -221,6 +222,10 @@ struct Inner {
     finished: AtomicBool,
     trace_hash: AtomicU64,
     analysis: Mutex<AnalysisConfig>,
+    /// Optional schedule-exploration policy (see [`crate::sched`]). The
+    /// flag mirrors `policy.is_some()` so the hot path can skip the lock.
+    policy: Mutex<Option<Box<dyn SchedulePolicy>>>,
+    policy_installed: AtomicBool,
 }
 
 /// Handle to a simulation. Cheap to clone; all clones refer to the same
@@ -270,6 +275,8 @@ impl Sim {
                 finished: AtomicBool::new(false),
                 trace_hash: AtomicU64::new(0xcbf2_9ce4_8422_2325),
                 analysis: Mutex::new(AnalysisConfig::default()),
+                policy: Mutex::new(None),
+                policy_installed: AtomicBool::new(false),
             }),
         }
     }
@@ -292,6 +299,44 @@ impl Sim {
     /// violation: nothing left in the queue can ever unblock them.
     pub fn set_analysis(&self, cfg: AnalysisConfig) {
         *self.inner.analysis.lock() = cfg;
+    }
+
+    /// Installs a schedule-exploration policy, consulted at every legal
+    /// scheduling choice point with two or more alternatives (see
+    /// [`crate::sched`]). Install it before spawning activities so even
+    /// the time-zero resume order is explorable. With no policy installed
+    /// the kernel takes the canonical choice on the pre-existing code
+    /// path — the golden trace stays byte-identical.
+    pub fn set_schedule_policy(&self, policy: Box<dyn SchedulePolicy>) {
+        *self.inner.policy.lock() = Some(policy);
+        self.inner.policy_installed.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes any installed schedule policy, restoring canonical order.
+    pub fn clear_schedule_policy(&self) {
+        self.inner.policy_installed.store(false, Ordering::SeqCst);
+        *self.inner.policy.lock() = None;
+    }
+
+    /// True when a schedule-exploration policy is installed.
+    pub fn has_schedule_policy(&self) -> bool {
+        self.inner.policy_installed.load(Ordering::Relaxed)
+    }
+
+    /// Resolves one scheduling choice among `arity` legal alternatives:
+    /// index 0 (the canonical choice) when no policy is installed or the
+    /// choice is unary, otherwise whatever the installed policy picks.
+    /// Layers above the kernel (the MTS scheduler, fault injection) route
+    /// their own choice points through this so one policy sees the whole
+    /// decision sequence.
+    pub fn schedule_choice(&self, point: ChoicePoint, arity: usize) -> usize {
+        if arity < 2 || !self.inner.policy_installed.load(Ordering::Relaxed) {
+            return 0;
+        }
+        match self.inner.policy.lock().as_mut() {
+            Some(p) => p.choose(point, arity).min(arity - 1),
+            None => 0,
+        }
     }
 
     /// Number of events still waiting in the queue.
@@ -569,7 +614,16 @@ impl Sim {
                         }
                     }
                 }
-                q.pop().expect("peeked event vanished")
+                if self.inner.policy_installed.load(Ordering::Relaxed) {
+                    // Exploration: let the policy pick among same-timestamp
+                    // events. The group scan + mid-heap extraction cost is
+                    // paid only on this branch.
+                    let group = q.head_seqs();
+                    let pick = self.schedule_choice(ChoicePoint::EventTieBreak, group.len());
+                    q.pop_seq(group[pick]).expect("head member vanished")
+                } else {
+                    q.pop().expect("peeked event vanished")
+                }
             };
             events += 1;
             self.inner.now_ps.store(time, Ordering::SeqCst);
@@ -1127,6 +1181,62 @@ mod tests {
         let h3 = build_and_run(9);
         assert_eq!(h1, h2, "same program must replay identically");
         assert_ne!(h1, h3, "different programs should diverge");
+    }
+
+    #[test]
+    fn scripted_policy_reorders_same_timestamp_events() {
+        use crate::sched::{DecisionLog, ScriptedPolicy};
+        let run = |script: Option<Vec<u32>>| {
+            let sim = Sim::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            if let Some(s) = script {
+                sim.set_schedule_policy(Box::new(ScriptedPolicy::new(s, DecisionLog::new())));
+            }
+            for tag in 0..4 {
+                let log = Arc::clone(&log);
+                sim.schedule_at(SimTime::from_ps(5), move |_| log.lock().push(tag));
+            }
+            sim.run().assert_clean();
+            let order = log.lock().clone();
+            (order, sim.trace_hash())
+        };
+        let (default_order, default_hash) = run(None);
+        assert_eq!(default_order, vec![0, 1, 2, 3]);
+        // An empty script is the canonical schedule: byte-identical hash.
+        let (scripted_default, scripted_hash) = run(Some(vec![]));
+        assert_eq!(scripted_default, default_order);
+        assert_eq!(scripted_hash, default_hash);
+        // Script: of 4 pending pick index 3, then of 3 pick 1, then defaults.
+        let (reordered, reordered_hash) = run(Some(vec![3, 1]));
+        assert_eq!(reordered, vec![3, 1, 0, 2]);
+        assert_ne!(reordered_hash, default_hash);
+    }
+
+    #[test]
+    fn random_walk_policy_records_replayable_decisions() {
+        use crate::sched::{DecisionLog, RandomWalkPolicy, ScriptedPolicy};
+        let build = |sim: &Sim, log: &Arc<Mutex<Vec<u64>>>| {
+            for tag in 0..6u64 {
+                let log = Arc::clone(log);
+                sim.schedule_at(SimTime::from_ps(9), move |_| log.lock().push(tag));
+            }
+        };
+        let walk_log = DecisionLog::new();
+        let sim = Sim::new();
+        sim.set_schedule_policy(Box::new(RandomWalkPolicy::new(0xA5, walk_log.clone())));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        build(&sim, &order);
+        sim.run().assert_clean();
+        let walked = order.lock().clone();
+        // Replaying the recorded decisions must reproduce the exact order.
+        let script: Vec<u32> = walk_log.snapshot().iter().map(|d| d.chosen).collect();
+        let sim2 = Sim::new();
+        sim2.set_schedule_policy(Box::new(ScriptedPolicy::new(script, DecisionLog::new())));
+        let order2 = Arc::new(Mutex::new(Vec::new()));
+        build(&sim2, &order2);
+        sim2.run().assert_clean();
+        assert_eq!(*order2.lock(), walked);
+        assert_eq!(sim2.trace_hash(), sim.trace_hash());
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`chrome`] — Perfetto-loadable `trace_event` JSON export;
 //! * [`SimRng`] — seeded, splittable randomness;
 //! * [`analysis`] — runtime-analysis primitives (violation sink,
-//!   wait-for-graph cycle detection) shared by the layers above.
+//!   wait-for-graph cycle detection) shared by the layers above;
+//! * [`sched`] — the pluggable [`SchedulePolicy`] seam: named legal
+//!   choice points (event tie-breaks, runnable rotation, fault timing)
+//!   that schedule exploration drives through alternative interleavings.
 //!
 //! ```
 //! use ncs_sim::{Dur, Sim};
@@ -45,18 +48,23 @@ mod kernel;
 mod metrics;
 mod resource;
 mod rng;
+pub mod sched;
 mod stats;
 mod time;
 mod trace;
 pub mod wheel;
 
-pub use analysis::{AnalysisConfig, InvariantSink, Violation, WaitGraph};
+pub use analysis::{fnv1a, AnalysisConfig, ChannelKey, InvariantSink, Violation, WaitGraph};
 pub use channel::{Closed, SimChannel};
 pub use chrome::chrome_trace_json;
 pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId, TimerHandle};
 pub use metrics::{DurStat, GaugeSeries, MetricsRegistry, Timeline};
 pub use resource::FifoResource;
 pub use rng::SimRng;
+pub use sched::{
+    format_trace, parse_trace, ChoicePoint, Decision, DecisionLog, RandomWalkPolicy,
+    SchedulePolicy, ScriptedPolicy,
+};
 pub use stats::{DurHistogram, DurSummary};
 pub use time::{Dur, SimTime};
 pub use trace::{ActorId, Span, SpanId, SpanKind, Tracer};

@@ -317,6 +317,57 @@ impl<T> TimerWheel<T> {
         Some((time, seq))
     }
 
+    /// Sequence numbers of every live event sharing the earliest live
+    /// timestamp, in ascending `seq` order.
+    ///
+    /// This is the *tie-break group*: the set of events a schedule-
+    /// exploration policy may legally pop next without reordering time.
+    /// All members provably live in the drain heap (`current`) — events
+    /// parked in future buckets or the overflow tree have strictly later
+    /// timestamps — so the scan is `O(current bucket)`, a cost paid only
+    /// by exploration runs, never by the default scheduler.
+    pub fn head_seqs(&mut self) -> Vec<u64> {
+        if !self.settle() {
+            return Vec::new();
+        }
+        let &Reverse((head_time, _, _)) = self.current.peek().expect("settle guarantees a top");
+        let slab = &self.slab;
+        let mut seqs: Vec<u64> = self
+            .current
+            .iter()
+            .filter(|&&Reverse((t, _, idx))| {
+                t == head_time && matches!(slab[idx as usize].body, Body::Live(_))
+            })
+            .map(|&Reverse((_, s, _))| s)
+            .collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// Removes and returns the live event with sequence number `seq`,
+    /// which must belong to the current head group (see
+    /// [`TimerWheel::head_seqs`]). Unlike [`TimerWheel::pop`] the record
+    /// is tombstoned rather than released — the drain heap still holds
+    /// its entry, which [`TimerWheel::settle`] reclaims later — so
+    /// outstanding [`Token`]s for *other* events stay valid.
+    pub fn pop_seq(&mut self, seq: u64) -> Option<(u64, u64, T)> {
+        if !self.settle() {
+            return None;
+        }
+        let slab = &self.slab;
+        let idx = self.current.iter().find_map(|&Reverse((_, s, i))| {
+            (s == seq && matches!(slab[i as usize].body, Body::Live(_))).then_some(i)
+        })?;
+        let rec = &mut self.slab[idx as usize];
+        let time = rec.time;
+        let body = std::mem::replace(&mut rec.body, Body::Tombstone);
+        self.len -= 1;
+        match body {
+            Body::Live(item) => Some((time, seq, item)),
+            _ => unreachable!("checked live above"),
+        }
+    }
+
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if !self.settle() {
@@ -441,6 +492,44 @@ mod tests {
         }
         assert!(w.is_empty());
         assert_eq!(w.peak_len(), 10);
+    }
+
+    #[test]
+    fn head_seqs_lists_the_tie_break_group() {
+        let mut w = TimerWheel::new();
+        w.push(10, 2, 'b');
+        w.push(10, 0, 'a');
+        w.push(10, 7, 'c');
+        w.push(20, 1, 'z');
+        assert_eq!(w.head_seqs(), vec![0, 2, 7]);
+        // Popping shrinks the group; the later timestamp never joins it.
+        w.pop().unwrap();
+        assert_eq!(w.head_seqs(), vec![2, 7]);
+    }
+
+    #[test]
+    fn pop_seq_takes_any_head_member_and_spares_other_tokens() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0, 'a');
+        w.push(10, 1, 'b');
+        let far = w.push(900_000_000, 2, 'z');
+        assert_eq!(w.pop_seq(1), Some((10, 1, 'b')));
+        assert_eq!(w.pop_seq(1), None, "already taken");
+        assert_eq!(w.pop().unwrap(), (10, 0, 'a'));
+        // The unrelated far-future token must still cancel cleanly.
+        assert_eq!(w.cancel(far), Some('z'));
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_seq_of_the_head_matches_pop_order() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0, 'a');
+        w.push(10, 1, 'b');
+        let head = w.head_seqs()[0];
+        assert_eq!(w.pop_seq(head), Some((10, 0, 'a')));
+        assert_eq!(w.pop().unwrap(), (10, 1, 'b'));
     }
 
     /// Deterministic xorshift so the stress test needs no external crates

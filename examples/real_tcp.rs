@@ -63,11 +63,17 @@ fn worker(id: usize, addrs: Vec<SocketAddr>) {
 }
 
 fn main() {
+    // This example runs over REAL TCP sockets between real OS threads —
+    // the one demo that is *supposed* to touch the host clock and spawn
+    // OS threads (it drives the `ncs::core::real` runtime, not the
+    // simulator).
+    // ncs-lint: allow(wall-clock)
     let t0 = Instant::now();
     let addrs = free_addrs(3);
     let handles: Vec<_> = (0..3)
         .map(|id| {
             let addrs = addrs.clone();
+            // ncs-lint: allow(thread-spawn)
             std::thread::spawn(move || worker(id, addrs))
         })
         .collect();

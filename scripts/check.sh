@@ -17,6 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== analysis: determinism lint + invariant smoke (as CI) =="
 cargo run --release -p ncs-analysis -- all
 
+echo "== schedule-space exploration smoke (as CI) =="
+cargo run --release -p ncs-analysis -- explore --smoke
+
 echo "== pipelined data path smoke (as CI) =="
 cargo run --release -p ncs-bench --bin xp_pipeline -- --smoke
 
