@@ -16,10 +16,15 @@
 //! * `wall-clock` — `Instant::now`/`SystemTime` anywhere but the real-time
 //!   pacing shim (`crates/core/src/real.rs`), the one module allowed to
 //!   observe the host clock.
-//! * `thread-spawn` — raw OS threads (`std::thread::spawn`,
-//!   `thread::Builder`) outside `real.rs` and the kernel's own green-thread
-//!   parking machinery. OS scheduling order is nondeterministic; all
-//!   concurrency must go through the simulation kernel or NCS_MTS.
+//! * `thread-spawn` — raw OS threads. Everywhere: `std::thread::spawn` /
+//!   `thread::Builder`. Inside the kernel/scheduler hot paths
+//!   (`crates/sim/src`, `crates/mts/src`): **any** `std::thread` use at all
+//!   (`park`, `sleep`, `current`, …) — since the green-thread engine moved
+//!   to in-process coroutines, nothing there may touch OS threads; even a
+//!   "harmless" `thread::yield_now` would smuggle OS scheduling into the
+//!   deterministic dispatch path. The OS-thread fallback engine
+//!   (`sim/src/engine/os_thread.rs`) is the one file-scoped exemption,
+//!   alongside the real-time shim (`core/src/real.rs`).
 //! * `unseeded-rand` — entropy-seeded randomness (`thread_rng`,
 //!   `from_entropy`, `rand::random`, `from_os_rng`, `OsRng`). Use
 //!   [`ncs_sim::SimRng`] with an explicit seed.
@@ -329,6 +334,14 @@ fn parse_allows(raw: &str) -> Vec<&str> {
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
     let is_real_shim = rel_path.ends_with("core/src/real.rs");
     let is_sim_clock = rel_path == "crates/sim/src/time.rs";
+    // The fallback green-thread engine is the one sanctioned OS-thread
+    // site in the simulator (kept for differential testing against the
+    // coroutine engine); its scoped exemption lives here, not in escape
+    // comments, so a stray `std::thread` elsewhere cannot copy it.
+    let is_engine_fallback = rel_path.ends_with("sim/src/engine/os_thread.rs");
+    // Kernel/scheduler hot paths: any OS-thread API is banned outright.
+    let is_hot_path =
+        rel_path.starts_with("crates/sim/src") || rel_path.starts_with("crates/mts/src");
 
     let mut out = Vec::new();
     let mut lex = LexState::default();
@@ -407,8 +420,12 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<LintViolation> {
         if !is_real_shim && (code.contains("Instant::now") || code.contains("SystemTime")) {
             hit("wall-clock");
         }
-        if !is_real_shim && (code.contains("thread::spawn") || code.contains("thread::Builder")) {
-            hit("thread-spawn");
+        if !is_real_shim && !is_engine_fallback {
+            let spawns = code.contains("thread::spawn") || code.contains("thread::Builder");
+            let any_os_thread_api = is_hot_path && code.contains("std::thread");
+            if spawns || any_os_thread_api {
+                hit("thread-spawn");
+            }
         }
         if code.contains("thread_rng")
             || code.contains("from_entropy")
@@ -606,6 +623,34 @@ mod tests {
         let src = "let t = Instant::now();\nstd::thread::spawn(f);\n";
         assert!(lint_file("crates/core/src/real.rs", src).is_empty());
         assert_eq!(lint_file("crates/core/src/env.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn fallback_engine_file_is_exempt_from_thread_spawn() {
+        let src = "let h = std::thread::Builder::new().spawn(body);\n";
+        assert!(lint_file("crates/sim/src/engine/os_thread.rs", src).is_empty());
+        // Same code anywhere else in the kernel is a violation.
+        let v = lint_file("crates/sim/src/engine/mod.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "thread-spawn");
+    }
+
+    #[test]
+    fn any_std_thread_use_is_flagged_in_hot_paths() {
+        // Not a spawn — but park/sleep/current would still smuggle OS
+        // scheduling into the deterministic dispatch path.
+        let src = "std::thread::park();\n";
+        for hot in ["crates/sim/src/kernel.rs", "crates/mts/src/sched.rs"] {
+            let v = lint_file(hot, src);
+            assert_eq!(v.len(), 1, "expected a hit in {hot}");
+            assert_eq!(v[0].rule, "thread-spawn");
+        }
+        // Outside the hot paths only spawn/Builder fire.
+        assert!(lint_file("crates/core/src/env.rs", src).is_empty());
+        assert_eq!(
+            lint_file("crates/core/src/env.rs", "std::thread::spawn(f);\n").len(),
+            1
+        );
     }
 
     #[test]

@@ -12,20 +12,30 @@
 //!    rounds of small messages, the per-message-overhead regime where
 //!    the paper's NCS wins)? Reports simulator throughput (events/sec,
 //!    ns/event of wall time) and the kernel's peak queue depth, sampled
-//!    into the `kernel.queue_depth` gauge.
+//!    into the `kernel.queue_depth` gauge. The sweep runs on **both
+//!    green-thread engines** — the coroutine default and the
+//!    parked-OS-thread fallback it replaced — so the JSON carries the
+//!    before/after ns/event rows for the engine switch.
 //!
 //! Writes `results/BENCH_kernel.json`.
 //!
 //! ```text
-//! cargo run --release -p ncs-bench --bin xp_scale [-- --smoke]
+//! cargo run --release -p ncs-bench --bin xp_scale [-- --smoke] [-- --guard]
 //! ```
+//!
+//! `--guard` is the CI perf-regression gate: it compares this machine's
+//! *normalized* cost per event — the coroutine-engine sweep's ns/event
+//! divided by the same run's micro wheel ns/event, cancelling out raw
+//! machine speed — against the checked-in baseline
+//! (`crates/bench/baselines/xp_scale_guard.txt`) and fails if any point
+//! regressed by more than 15%.
 
 use bytes::Bytes;
 use ncs_core::{NcsConfig, NcsWorld, ThreadAddr};
 use ncs_net::atm::{AtmLanFabric, AtmLanParams};
 use ncs_net::{AtmApiNet, AtmApiParams, HostParams, Network};
 use ncs_sim::wheel::TimerWheel;
-use ncs_sim::{Dur, Sim, SimRng};
+use ncs_sim::{Dur, EngineKind, Sim, SimRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hint::black_box;
@@ -133,14 +143,23 @@ fn micro_heap_ns(offsets: &[u64]) -> f64 {
     t0.elapsed().as_secs_f64() * 1e9 / offsets.len() as f64
 }
 
-/// Self-rearming sampler feeding the `kernel.queue_depth` gauge. Stops
-/// when the queue is otherwise empty (with every other activity parked and
-/// nothing pending, the run is over).
+/// Self-rearming sampler feeding the `kernel.queue_depth` gauge. Records
+/// [`Sim::queue_depth`] — pending events *plus* the in-flight one — which
+/// is the quantity the kernel's `peak_queue_depth` high-water mark tracks;
+/// sampling `pending_events()` here was the historical off-by-one (gauge
+/// peak 64 vs kernel peak 65: the sampler's own one-event footprint went
+/// uncounted). At arm time (called synchronously before `run()`) nothing
+/// is in flight yet and the about-to-be-pushed first sampler event plays
+/// that role instead — add it back so both call positions count the
+/// footprint exactly once, same as the wheel's peak counter sees it.
+/// Stops rearming when the queue is otherwise empty (with every other
+/// activity parked and nothing pending, the run is over).
 fn sample_queue_depth(sim: &Sim, every: Dur) {
-    let depth = sim.pending_events();
+    let in_run = sim.queue_depth() > sim.pending_events();
+    let depth = sim.queue_depth() + usize::from(!in_run);
     let now = sim.now();
     sim.with_metrics(|m| m.gauge_set("kernel.queue_depth", 0, now, depth as i64));
-    if depth > 0 {
+    if sim.pending_events() > 0 {
         sim.schedule_in(every, move |s| sample_queue_depth(s, every));
     }
 }
@@ -157,11 +176,17 @@ struct ScalePoint {
     gauge_peak: i64,
 }
 
+impl ScalePoint {
+    fn ns_per_event(&self) -> f64 {
+        self.wall_s * 1e9 / self.events as f64
+    }
+}
+
 /// The collective: `rounds` iterations of gather-to-root (every worker
 /// sends to proc 0) followed by a root broadcast, all through the full
-/// ATM HSM stack.
-fn run_collective(hosts: usize, rounds: u32) -> ScalePoint {
-    let sim = Sim::new();
+/// ATM HSM stack, on the requested green-thread engine.
+fn run_collective(hosts: usize, rounds: u32, engine: EngineKind) -> ScalePoint {
+    let sim = Sim::with_engine(engine);
     let net = hsm_stack(hosts);
     let payload = Bytes::from(vec![0xC3u8; MSG_BYTES]);
     NcsWorld::launch(
@@ -222,8 +247,71 @@ fn run_collective(hosts: usize, rounds: u32) -> ScalePoint {
     point
 }
 
+/// Path of the checked-in normalized-cost baseline consumed by `--guard`.
+const GUARD_BASELINE: &str = "crates/bench/baselines/xp_scale_guard.txt";
+/// Allowed regression over the baseline's normalized cost per event.
+const GUARD_HEADROOM: f64 = 1.15;
+
+/// `--guard`: machine-normalized perf-regression gate. Each measured
+/// coroutine-engine point's cost ratio (`ns_per_event / wheel_ns`) is
+/// compared against the checked-in baseline for the same `(hosts, rounds)`
+/// shape; raw machine speed divides out, so the gate travels across CI
+/// runners. Fails (exits non-zero via panic) past 15% regression.
+fn run_guard(points: &[ScalePoint], wheel_ns: f64) {
+    let text = std::fs::read_to_string(GUARD_BASELINE)
+        .unwrap_or_else(|e| panic!("--guard: cannot read {GUARD_BASELINE}: {e}"));
+    let mut baseline: Vec<(usize, u32, f64)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            [h, r, ratio] => match (h.parse(), r.parse(), ratio.parse()) {
+                (Ok(h), Ok(r), Ok(ratio)) => baseline.push((h, r, ratio)),
+                _ => panic!("--guard: malformed baseline line: {line:?}"),
+            },
+            _ => panic!("--guard: malformed baseline line: {line:?}"),
+        }
+    }
+    println!("\n## perf-regression guard (normalized vs {GUARD_BASELINE})");
+    let mut checked = 0;
+    for p in points {
+        let Some(&(_, _, base)) = baseline
+            .iter()
+            .find(|&&(h, r, _)| h == p.hosts && r == p.rounds)
+        else {
+            continue;
+        };
+        let ratio = p.ns_per_event() / wheel_ns;
+        let verdict = if ratio <= base * GUARD_HEADROOM { "ok" } else { "FAIL" };
+        println!(
+            "  {:3} hosts | ratio {:7.2} | baseline {:7.2} | limit {:7.2} | {}",
+            p.hosts,
+            ratio,
+            base,
+            base * GUARD_HEADROOM,
+            verdict,
+        );
+        assert!(
+            ratio <= base * GUARD_HEADROOM,
+            "ns/event at {} hosts regressed: normalized cost {ratio:.2} exceeds \
+             baseline {base:.2} by more than {:.0}%",
+            p.hosts,
+            (GUARD_HEADROOM - 1.0) * 100.0
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 0,
+        "--guard: no baseline entry matched the measured sweep shape"
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let guard = std::env::args().any(|a| a == "--guard");
     println!("# X10 — event-kernel scaling (timer wheel, 16..256 hosts)");
     if smoke {
         println!("# smoke mode: reduced sweep");
@@ -247,33 +335,64 @@ fn main() {
          baseline it replaced ({heap_ns:.1} ns)"
     );
 
-    // Part 2: collective-heavy scaling sweep through the full ATM stack.
+    // Part 2: collective-heavy scaling sweep through the full ATM stack,
+    // once per green-thread engine. The coroutine engine is the product
+    // configuration; the parked-OS-thread fallback supplies the "before"
+    // rows for the engine switch.
     let host_counts: &[usize] = if smoke { &[16, 64] } else { &[16, 64, 128, 256] };
     let rounds: u32 = if smoke { 1 } else { 4 };
-    println!("\n## collective gather+broadcast, {MSG_BYTES}-byte messages, {rounds} round(s)");
-    let mut points = Vec::new();
-    for &hosts in host_counts {
-        let p = run_collective(hosts, rounds);
+    let mut sweeps: Vec<(EngineKind, &str, Vec<ScalePoint>)> = Vec::new();
+    for (engine, label) in [
+        (EngineKind::Coroutine, "coroutine"),
+        (EngineKind::OsThread, "os-thread"),
+    ] {
         println!(
-            "  {:3} hosts | {:8} ev | {:9.6}s virtual | {:6.3}s wall | {:9.0} ev/s | peak q {:5} | gauge peak {:5} ({} samples)",
-            p.hosts,
-            p.events,
-            p.virtual_s,
-            p.wall_s,
-            p.events_per_sec,
-            p.peak_queue_depth,
-            p.gauge_peak,
-            p.gauge_samples,
+            "\n## collective gather+broadcast, {MSG_BYTES}-byte messages, \
+             {rounds} round(s), {label} engine"
         );
-        assert!(
-            p.gauge_samples > 0,
-            "queue-depth sampler never fired at {hosts} hosts"
+        let mut points = Vec::new();
+        for &hosts in host_counts {
+            let p = run_collective(hosts, rounds, engine);
+            println!(
+                "  {:3} hosts | {:8} ev | {:9.6}s virtual | {:6.3}s wall | {:9.0} ev/s | peak q {:5} | gauge peak {:5} ({} samples)",
+                p.hosts,
+                p.events,
+                p.virtual_s,
+                p.wall_s,
+                p.events_per_sec,
+                p.peak_queue_depth,
+                p.gauge_peak,
+                p.gauge_samples,
+            );
+            assert!(
+                p.gauge_samples > 0,
+                "queue-depth sampler never fired at {hosts} hosts"
+            );
+            assert_eq!(
+                p.gauge_peak as usize, p.peak_queue_depth,
+                "the queue-depth gauge's peak must agree exactly with the \
+                 kernel's high-water mark (the sampler reads Sim::queue_depth)"
+            );
+            points.push(p);
+        }
+        sweeps.push((engine, label, points));
+    }
+    let points = &sweeps[0].2; // coroutine rows: the product configuration
+    let os_points = &sweeps[1].2;
+
+    println!("\n## engine switch: ns/event, os-thread -> coroutine");
+    for (c, o) in points.iter().zip(os_points.iter()) {
+        println!(
+            "  {:3} hosts | {:8.1} -> {:6.1} ns/event | {:4.1}x",
+            c.hosts,
+            o.ns_per_event(),
+            c.ns_per_event(),
+            o.ns_per_event() / c.ns_per_event(),
         );
-        assert!(
-            p.gauge_peak as usize <= p.peak_queue_depth,
-            "sampled gauge peak cannot exceed the kernel's own high-water mark"
-        );
-        points.push(p);
+    }
+
+    if guard {
+        run_guard(points, wheel_ns);
     }
 
     // Hand-rolled JSON (no serde in the workspace).
@@ -283,24 +402,39 @@ fn main() {
         "  \"micro\": {{\"events\": {micro_n}, \"depth\": {MICRO_DEPTH}, \
          \"wheel_ns_per_event\": {wheel_ns:.2}, \"heap_ns_per_event\": {heap_ns:.2}}},\n"
     ));
-    json.push_str("  \"scaling\": [\n");
-    for (i, p) in points.iter().enumerate() {
+    for (key, pts) in [("scaling", points), ("scaling_os_thread", os_points)] {
+        json.push_str(&format!("  \"{key}\": [\n"));
+        for (i, p) in pts.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"hosts\": {}, \"rounds\": {}, \"msg_bytes\": {MSG_BYTES}, \
+                 \"events\": {}, \"virtual_s\": {:.9}, \"wall_s\": {:.6}, \
+                 \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
+                 \"peak_queue_depth\": {}, \"queue_depth_gauge_peak\": {}, \
+                 \"queue_depth_samples\": {}}}{}\n",
+                p.hosts,
+                p.rounds,
+                p.events,
+                p.virtual_s,
+                p.wall_s,
+                p.events_per_sec,
+                p.ns_per_event(),
+                p.peak_queue_depth,
+                p.gauge_peak,
+                p.gauge_samples,
+                if i + 1 < pts.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ],\n");
+    }
+    json.push_str("  \"engine_speedup\": [\n");
+    for (i, (c, o)) in points.iter().zip(os_points.iter()).enumerate() {
         json.push_str(&format!(
-            "    {{\"hosts\": {}, \"rounds\": {}, \"msg_bytes\": {MSG_BYTES}, \
-             \"events\": {}, \"virtual_s\": {:.9}, \"wall_s\": {:.6}, \
-             \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}, \
-             \"peak_queue_depth\": {}, \"queue_depth_gauge_peak\": {}, \
-             \"queue_depth_samples\": {}}}{}\n",
-            p.hosts,
-            p.rounds,
-            p.events,
-            p.virtual_s,
-            p.wall_s,
-            p.events_per_sec,
-            p.wall_s * 1e9 / p.events as f64,
-            p.peak_queue_depth,
-            p.gauge_peak,
-            p.gauge_samples,
+            "    {{\"hosts\": {}, \"os_thread_ns_per_event\": {:.1}, \
+             \"coroutine_ns_per_event\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            c.hosts,
+            o.ns_per_event(),
+            c.ns_per_event(),
+            o.ns_per_event() / c.ns_per_event(),
             if i + 1 < points.len() { "," } else { "" },
         ));
     }

@@ -11,6 +11,11 @@
 //! * [`SimTime`] / [`Dur`] — integer picosecond virtual time;
 //! * [`Sim`] / [`Ctx`] — the kernel, event scheduling, and green threads
 //!   under a strict baton-passing protocol (at most one runnable activity);
+//! * [`engine`] — the green-thread engines behind that protocol: stackful
+//!   in-process coroutines by default ([`EngineKind::Coroutine`], a ~20
+//!   instruction context switch), with the original parked-OS-thread
+//!   engine as a differential-testing fallback ([`EngineKind::OsThread`],
+//!   selectable via `NCS_GREEN_ENGINE=os`);
 //! * [`wheel`] — the kernel's event queue: a hierarchical timer wheel with
 //!   pooled event records (O(1) schedule, allocation-free steady state);
 //! * [`FifoResource`] — counted FIFO resources (buses, links, buffer pools);
@@ -38,12 +43,18 @@
 //! sim.run().assert_clean();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the coroutine green-thread engine
+// (`engine::coro`) is the crate's single sanctioned `unsafe` island — a
+// ~20-instruction context switch plus guarded stack mmap — and carries a
+// scoped `#[allow(unsafe_code)]` with its soundness argument. Everything
+// else in the crate still refuses `unsafe` at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 mod channel;
 pub mod chrome;
+pub mod engine;
 mod kernel;
 mod metrics;
 mod resource;
@@ -57,6 +68,7 @@ pub mod wheel;
 pub use analysis::{fnv1a, AnalysisConfig, ChannelKey, InvariantSink, Violation, WaitGraph};
 pub use channel::{Closed, SimChannel};
 pub use chrome::chrome_trace_json;
+pub use engine::{default_engine, live_coroutine_stacks, set_default_engine, EngineKind};
 pub use kernel::{Ctx, RunOutcome, Sim, StopReason, ThreadId, TimerHandle};
 pub use metrics::{DurStat, GaugeSeries, MetricsRegistry, Timeline};
 pub use resource::FifoResource;

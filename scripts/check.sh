@@ -26,8 +26,8 @@ cargo run --release -p ncs-bench --bin xp_pipeline -- --smoke
 echo "== observability smoke: golden-trace determinism (as CI) =="
 cargo run --release -p ncs-bench --bin xp_observe -- --smoke
 
-echo "== event-kernel scaling smoke (as CI) =="
-cargo run --release -p ncs-bench --bin xp_scale -- --smoke
+echo "== event-kernel scaling smoke + ns/event regression guard (as CI) =="
+cargo run --release -p ncs-bench --bin xp_scale -- --smoke --guard
 
 echo "== chaos sweep smoke: faults, topologies, graceful degradation (as CI) =="
 cargo run --release -p ncs-bench --bin xp_chaos -- --smoke
